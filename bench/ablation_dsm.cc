@@ -1,0 +1,84 @@
+// Ablation bench for the design choices §3.3.1 calls out:
+//   * the alias ("second") mapping of the shared heap,
+//   * the per-page mutex in the fault handler,
+//   * lazy vs eager diff creation.
+// Each knob is toggled independently on the thread-mode runtime; SOR and
+// Water are the probes (regular stencil vs reduction-heavy).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace omsp;
+  using namespace omsp::bench;
+
+  struct Variant {
+    const char* name;
+    tmk::Config cfg;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant v{"thread (baseline)", paper_config(tmk::Mode::kThread)};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no alias mapping", paper_config(tmk::Mode::kThread)};
+    // The alias-off path is only sound with one thread per context (the
+    // original TreadMarks never ran threads); use 4 nodes x 1 proc.
+    v.cfg.topology = sim::Topology(4, 1);
+    v.cfg.alias_mapping = false;
+    variants.push_back(v);
+    Variant w{"alias mapping (4x1)", paper_config(tmk::Mode::kThread)};
+    w.cfg.topology = sim::Topology(4, 1);
+    variants.push_back(w);
+  }
+  {
+    Variant v{"coarse fault lock", paper_config(tmk::Mode::kThread)};
+    v.cfg.per_page_fault_lock = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"eager diffs", paper_config(tmk::Mode::kThread)};
+    v.cfg.lazy_diffs = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"GC every barrier", paper_config(tmk::Mode::kThread)};
+    v.cfg.gc_threshold_bytes = 1;
+    variants.push_back(v);
+  }
+
+  const auto sor_p = sor_params();
+  const auto water_p = water_params();
+
+  std::printf("DSM design ablations (thread-mode runtime)\n");
+  for (const char* app : {"SOR", "Water"}) {
+    std::printf("\n%s\n", app);
+    print_rule(96);
+    std::printf("%-22s %10s %12s %10s %10s %10s %12s\n", "variant", "time(s)",
+                "msgs", "MB", "mprotect", "faults", "diffs_made");
+    print_rule(96);
+    for (const auto& v : variants) {
+      const apps::Result r = (app[0] == 'S')
+                                 ? apps::sor::run_omp(sor_p, v.cfg)
+                                 : apps::water::run_omp(water_p, v.cfg);
+      std::printf("%-22s %10.2f %12llu %10.2f %10llu %10llu %12llu\n", v.name,
+                  r.time_us * 1e-6,
+                  static_cast<unsigned long long>(r.stats[Counter::kMsgsSent]),
+                  r.stats.data_mbytes(),
+                  static_cast<unsigned long long>(r.stats[Counter::kMprotect]),
+                  static_cast<unsigned long long>(
+                      r.stats[Counter::kPageFaults]),
+                  static_cast<unsigned long long>(
+                      r.stats[Counter::kDiffsCreated]));
+    }
+    print_rule(96);
+  }
+  std::printf("\nExpectations: no-alias raises mprotects ~25-56%% over the "
+              "aliased 4x1 run (Table 3's\nThrd/1 vs Orig/1 effect); the "
+              "coarse lock leaves counters equal but serializes faults;\n"
+              "eager diffs raise diff counts (diffs made at every close, "
+              "requested or not);\naggressive GC trades extra validation "
+              "traffic for bounded protocol memory.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) for the DSM's hot primitives: diff
+// creation/application, twin copies, message serialization and the
+// fault/fetch round trip. These are host-time benchmarks (not virtual time)
+// — they size the constant factors behind the cost model.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "tmk/diff.hpp"
+#include "tmk/system.hpp"
+
+namespace {
+
+using namespace omsp;
+using namespace omsp::tmk;
+
+// Build a (twin, current) pair where `fraction` of the bytes changed, spread
+// over `runs` contiguous regions.
+void make_pair(std::uint8_t* twin, std::uint8_t* cur, double fraction,
+               int runs) {
+  Rng rng(99);
+  for (std::size_t i = 0; i < kPageSize; ++i)
+    twin[i] = cur[i] = static_cast<std::uint8_t>(rng.next_u32());
+  const std::size_t change = static_cast<std::size_t>(kPageSize * fraction);
+  const std::size_t per_run = std::max<std::size_t>(1, change / runs);
+  for (int r = 0; r < runs; ++r) {
+    const std::size_t start = (kPageSize / runs) * r;
+    for (std::size_t i = start; i < start + per_run && i < kPageSize; ++i)
+      cur[i] ^= 0x5a;
+  }
+}
+
+void BM_DiffCreate(benchmark::State& state) {
+  alignas(64) std::uint8_t twin[kPageSize], cur[kPageSize];
+  make_pair(twin, cur, state.range(0) / 100.0, 8);
+  for (auto _ : state) {
+    auto d = create_diff(twin, cur);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() * kPageSize);
+}
+BENCHMARK(BM_DiffCreate)->Arg(0)->Arg(5)->Arg(25)->Arg(100);
+
+void BM_DiffApply(benchmark::State& state) {
+  alignas(64) std::uint8_t twin[kPageSize], cur[kPageSize], dst[kPageSize];
+  make_pair(twin, cur, state.range(0) / 100.0, 8);
+  const auto d = create_diff(twin, cur);
+  std::memcpy(dst, twin, kPageSize);
+  for (auto _ : state) {
+    apply_diff(d, dst);
+    benchmark::DoNotOptimize(dst);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(diff_patch_bytes(d)));
+}
+BENCHMARK(BM_DiffApply)->Arg(5)->Arg(25)->Arg(100);
+
+void BM_TwinCopy(benchmark::State& state) {
+  alignas(64) std::uint8_t src[kPageSize], dst[kPageSize];
+  std::memset(src, 0x5a, sizeof src);
+  for (auto _ : state) {
+    std::memcpy(dst, src, kPageSize);
+    benchmark::DoNotOptimize(dst);
+  }
+  state.SetBytesProcessed(state.iterations() * kPageSize);
+}
+BENCHMARK(BM_TwinCopy);
+
+void BM_SerializeRecords(benchmark::State& state) {
+  std::vector<IntervalRecord> recs;
+  for (int i = 0; i < state.range(0); ++i) {
+    IntervalRecord r;
+    r.creator = static_cast<ContextId>(i % 4);
+    r.seq = static_cast<IntervalSeq>(i + 1);
+    r.vt = VectorTime(16);
+    for (int k = 0; k < 6; ++k) r.pages.push_back(static_cast<PageId>(k * 7));
+    recs.push_back(std::move(r));
+  }
+  for (auto _ : state) {
+    ByteWriter w;
+    serialize_records(recs, w);
+    ByteReader r(w.bytes());
+    auto back = deserialize_records(r);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_SerializeRecords)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_FaultFetchRoundTrip(benchmark::State& state) {
+  // One writer context, one reader context; each iteration invalidates the
+  // reader and forces a full fault -> diff request -> apply cycle.
+  Config cfg;
+  cfg.topology = sim::Topology(2, 1);
+  cfg.cost = sim::CostModel::zero();
+  cfg.heap_bytes = 1u << 20;
+  DsmSystem dsm(cfg);
+  auto data = dsm.alloc_page_aligned<long>(512);
+  long expect = 0;
+  for (auto _ : state) {
+    ++expect;
+    dsm.parallel([&](Rank r) {
+      if (r == 0) data[0] = expect;
+      dsm.barrier();
+      if (r == 1) benchmark::DoNotOptimize(data[0]);
+    });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultFetchRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_Mprotect(benchmark::State& state) {
+  Config cfg;
+  cfg.topology = sim::Topology(1, 1);
+  cfg.cost = sim::CostModel::zero();
+  cfg.heap_bytes = 1u << 20;
+  DsmSystem dsm(cfg);
+  auto& heap = dsm.context(0).heap();
+  bool rw = false;
+  for (auto _ : state) {
+    heap.protect(4, rw ? Protection::kRead : Protection::kReadWrite);
+    rw = !rw;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Mprotect)->Unit(benchmark::kNanosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Protocol comparison: TreadMarks-style lazy release consistency (diffs
+// fetched from their writers) vs home-based LRC (eager diffs to a home,
+// whole-page fetches) — the design space of the paper's §6 related work
+// (HLRC-SMP, Cashmere-2L).
+//
+// The literature's expectation, reproduced here: the home-based protocol
+// sends FEWER messages (one page fetch replaces one diff request per writer)
+// but MORE data (whole pages instead of diffs, plus eager diff pushes nobody
+// may ever read). TreadMarks wins on data volume for sparse-update patterns
+// (SOR), home-based wins on message count for multi-writer pages (Water's
+// reduction arrays, Barnes' tree).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace omsp;
+  using namespace omsp::bench;
+
+  std::printf("Lazy RC (TreadMarks) vs home-based LRC — thread mode, 4x4\n");
+  print_rule(96);
+  std::printf("%-8s | %10s %10s %9s | %10s %10s %9s | %7s\n", "", "LRC msgs",
+              "LRC MB", "LRC t(s)", "HLRC msgs", "HLRC MB", "HLRC t(s)",
+              "msg win");
+  print_rule(96);
+  for (const auto& app : all_apps()) {
+    tmk::Config lrc = paper_config(tmk::Mode::kThread);
+    tmk::Config hlrc = paper_config(tmk::Mode::kThread);
+    hlrc.protocol = tmk::Protocol::kHomeLRC;
+    const auto a = app.run_omp(lrc);
+    const auto b = app.run_omp(hlrc);
+    std::printf(
+        "%-8s | %10llu %10.2f %9.2f | %10llu %10.2f %9.2f | %6.2fx\n",
+        app.name,
+        static_cast<unsigned long long>(a.stats[Counter::kMsgsSent]),
+        a.stats.data_mbytes(), a.time_us * 1e-6,
+        static_cast<unsigned long long>(b.stats[Counter::kMsgsSent]),
+        b.stats.data_mbytes(), b.time_us * 1e-6,
+        static_cast<double>(a.stats[Counter::kMsgsSent]) /
+            std::max<std::uint64_t>(1, b.stats[Counter::kMsgsSent]));
+  }
+  print_rule(96);
+  std::printf("msg win: LRC messages / HLRC messages (>1 means home-based "
+              "saves messages).\n");
+  return 0;
+}

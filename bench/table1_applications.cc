@@ -1,0 +1,46 @@
+// Table 1 — Application, problem size, sequential execution time, and
+// parallelization directive(s) in the OpenMP programs.
+//
+// Paper values (SP2, PowerPC 604): Barnes 158.0 s (65536 bodies), 3D-FFT
+// 65.2 s (128x128x64, 10 it), Water 760.3 s (4096 molecules, 4 steps), SOR
+// 149.0 s (8K x 4K, 20 it), TSP 248.1 s (19 cities), MGS 563.3 s (2K x 2K).
+// Our problem sizes are scaled down (one CI core must run the whole
+// evaluation); the simulated sequential times below are on the virtual
+// PowerPC-604-scaled clock.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace omsp;
+  using namespace omsp::bench;
+
+  struct PaperRow {
+    const char* size;
+    double seconds;
+  };
+  const PaperRow paper[] = {
+      {"65536", 158.0},          {"128x128x64, 10", 65.2},
+      {"4096, 4", 760.3},        {"8K x 4K, 20", 149.0},
+      {"19 cities, -r14", 248.1}, {"2K x 2K", 563.3},
+  };
+
+  std::printf("Table 1: applications, sizes, sequential time, directives\n");
+  std::printf("(simulated PowerPC-604 seconds; paper sizes/times for "
+              "reference)\n");
+  print_rule(100);
+  std::printf("%-8s %-26s %12s   %-18s %10s   %s\n", "Appl.", "Size (ours)",
+              "Seq time(s)", "Paper size", "Paper(s)", "OpenMP directives");
+  print_rule(100);
+  const double scale = paper_cost().cpu_scale;
+  int i = 0;
+  for (const auto& app : all_apps()) {
+    const auto r = app.run_seq(scale);
+    std::printf("%-8s %-26s %12.2f   %-18s %10.1f   %s\n", app.name,
+                app.size_desc.c_str(), r.time_us * 1e-6, paper[i].size,
+                paper[i].seconds, app.directives);
+    ++i;
+  }
+  print_rule(100);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Heat diffusion on a plate — the PDE-solving scenario the paper's SOR
+// benchmark models, here written as a small application: iterate a 5-point
+// stencil until the residual converges, with red-black coloring so each
+// sweep is a single `parallel for`.
+//
+// Demonstrates: iterative stencils on the DSM, convergence checks via scalar
+// reductions, and how little data the diff-based protocol ships for a
+// stencil (compare with the MPI version's whole boundary rows — the paper's
+// §5.3.2 SOR observation).
+#include <cmath>
+#include <cstdio>
+
+#include "core/runtime.hpp"
+
+int main() {
+  using namespace omsp;
+
+  tmk::Config cfg; // 4 nodes x 4 processors, thread mode
+  core::OmpRuntime rt(cfg);
+
+  constexpr std::int64_t kRows = 256, kCols = 128;
+  constexpr std::int64_t kStride = kCols + 2;
+  auto grid = rt.alloc_page_aligned<double>((kRows + 2) * kStride);
+
+  // Cold plate with a hot top edge and a warm right edge.
+  for (std::int64_t i = 0; i < (kRows + 2) * kStride; ++i) grid[i] = 0.0;
+  for (std::int64_t c = 0; c < kStride; ++c) grid[c] = 100.0;
+  for (std::int64_t r = 0; r < kRows + 2; ++r)
+    grid[r * kStride + kCols + 1] = 40.0;
+
+  const double tolerance = 1e-3;
+  double residual = 1e9;
+  int iterations = 0;
+
+  while (residual > tolerance && iterations < 500) {
+    // Two colored half-sweeps; each is one parallel for over rows.
+    for (int color = 0; color < 2; ++color) {
+      rt.parallel_for(1, kRows + 1, core::Schedule::static_block(),
+                      [&](std::int64_t r) {
+                        double* row = grid.local() + r * kStride;
+                        for (std::int64_t c = 1 + ((r + color) & 1);
+                             c <= kCols; c += 2)
+                          row[c] = 0.25 * (row[c - 1] + row[c + 1] +
+                                           row[c - kStride] + row[c + kStride]);
+                      });
+    }
+    ++iterations;
+
+    // Convergence check every 10 sweeps: max residual via reduction.
+    if (iterations % 10 == 0) {
+      rt.parallel([&](core::Team& t) {
+        double local = 0.0;
+        t.for_loop_nowait(1, kRows + 1, core::Schedule::static_block(),
+                          [&](std::int64_t r) {
+                            const double* row = grid.local() + r * kStride;
+                            for (std::int64_t c = 1; c <= kCols; ++c) {
+                              const double next =
+                                  0.25 * (row[c - 1] + row[c + 1] +
+                                          row[c - kStride] + row[c + kStride]);
+                              local = std::max(local, std::fabs(next - row[c]));
+                            }
+                          });
+        const double m =
+            t.reduce(local, [](double a, double b) { return std::max(a, b); });
+        if (t.thread_num() == 0) residual = m;
+      });
+      std::printf("sweep %4d: residual %.6f\n", iterations, residual);
+    }
+  }
+
+  // Sample the solution along the diagonal.
+  std::printf("\n%s after %d sweeps (residual %.4f); diagonal temperatures:\n",
+              residual <= tolerance ? "converged" : "stopped", iterations,
+              residual);
+  for (std::int64_t k = 1; k <= 5; ++k) {
+    const std::int64_t r = k * kRows / 6, c = k * kCols / 6;
+    std::printf("  T(%3lld,%3lld) = %6.2f\n", static_cast<long long>(r),
+                static_cast<long long>(c), grid[r * kStride + c]);
+  }
+
+  const auto s = rt.dsm().stats();
+  std::printf("\nDSM shipped %.2f MB in %llu messages for the whole solve\n",
+              s.data_mbytes(),
+              static_cast<unsigned long long>(s[Counter::kMsgsSent]));
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Rebuild everything, run the full test suite, and regenerate every table and
+# figure of the paper's evaluation. Artifacts land in the repository root:
+#   test_output.txt   — full ctest log
+#   bench_output.txt  — every bench binary's output
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $b =====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+
+echo "Done. See test_output.txt and bench_output.txt."

@@ -1,0 +1,409 @@
+#include "apps/barnes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+
+namespace omsp::apps::barnes {
+
+namespace {
+
+struct Body {
+  double pos[3];
+  double vel[3];
+  double acc[3];
+  double mass;
+  double work; // interactions in the previous iteration (load estimate)
+};
+
+// Octree cell. child[i] >= 0 is a cell index; kEmpty is empty; other
+// negative values encode leaf body b as -(b + 2).
+struct Cell {
+  double center[3];
+  double half; // half edge length
+  double mass;
+  double com[3];
+  std::int32_t child[8];
+};
+
+constexpr std::int32_t kEmpty = -1;
+inline std::int32_t encode_body(std::int64_t b) {
+  return -static_cast<std::int32_t>(b) - 2;
+}
+inline std::int64_t decode_body(std::int32_t c) { return -(c + 2); }
+
+// Shared simulation arena: bodies, tree pool, Morton order, segment bounds.
+// In the OpenMP version this whole block lives in the DSM heap.
+struct Arena {
+  Body* bodies;
+  Cell* cells;
+  std::int32_t* order;    // Morton-ordered body indices
+  std::int64_t* seg;      // nthreads+1 segment boundaries into order[]
+  std::int32_t* cell_count; // single counter (master writes)
+  std::int64_t n;
+  std::int64_t max_cells;
+};
+
+int octant_of(const Cell& c, const double pos[3]) {
+  int o = 0;
+  for (int d = 0; d < 3; ++d)
+    if (pos[d] >= c.center[d]) o |= 1 << d;
+  return o;
+}
+
+std::int32_t new_cell(Arena& a, const double center[3], double half) {
+  OMSP_CHECK_MSG(*a.cell_count < a.max_cells, "barnes cell pool exhausted");
+  const std::int32_t idx = (*a.cell_count)++;
+  Cell& c = a.cells[idx];
+  for (int d = 0; d < 3; ++d) c.center[d] = center[d];
+  c.half = half;
+  c.mass = 0;
+  c.com[0] = c.com[1] = c.com[2] = 0;
+  for (auto& ch : c.child) ch = kEmpty;
+  return idx;
+}
+
+void insert_body(Arena& a, std::int32_t cell, std::int64_t b) {
+  Cell& c = a.cells[cell];
+  const int o = octant_of(c, a.bodies[b].pos);
+  const std::int32_t ch = c.child[o];
+  if (ch == kEmpty) {
+    c.child[o] = encode_body(b);
+    return;
+  }
+  if (ch >= 0) {
+    insert_body(a, ch, b);
+    return;
+  }
+  // Leaf: split into a sub-cell holding both bodies.
+  const std::int64_t other = decode_body(ch);
+  double sub_center[3];
+  const double sub_half = c.half / 2;
+  for (int d = 0; d < 3; ++d)
+    sub_center[d] = c.center[d] + ((o >> d) & 1 ? sub_half : -sub_half);
+  const std::int32_t sub = new_cell(a, sub_center, sub_half);
+  c.child[o] = sub;
+  insert_body(a, sub, other);
+  insert_body(a, sub, b);
+}
+
+// Bottom-up mass/center-of-mass computation.
+void summarize(Arena& a, std::int32_t cell) {
+  Cell& c = a.cells[cell];
+  c.mass = 0;
+  c.com[0] = c.com[1] = c.com[2] = 0;
+  for (const std::int32_t ch : c.child) {
+    if (ch == kEmpty) continue;
+    double m;
+    const double* pos;
+    if (ch >= 0) {
+      summarize(a, ch);
+      m = a.cells[ch].mass;
+      pos = a.cells[ch].com;
+    } else {
+      const Body& b = a.bodies[decode_body(ch)];
+      m = b.mass;
+      pos = b.pos;
+    }
+    c.mass += m;
+    for (int d = 0; d < 3; ++d) c.com[d] += m * pos[d];
+  }
+  if (c.mass > 0)
+    for (int d = 0; d < 3; ++d) c.com[d] /= c.mass;
+}
+
+// Step 1 of the paper: the master rebuilds the tree, Morton-orders the
+// bodies and computes the cost-weighted segments for `nthreads` workers.
+void build_tree(Arena& a, const Params& p, std::uint32_t nthreads) {
+  double lo = a.bodies[0].pos[0], hi = lo;
+  for (std::int64_t b = 0; b < a.n; ++b)
+    for (int d = 0; d < 3; ++d) {
+      lo = std::min(lo, a.bodies[b].pos[d]);
+      hi = std::max(hi, a.bodies[b].pos[d]);
+    }
+  hi += 1e-9;
+  *a.cell_count = 0;
+  double center[3] = {(lo + hi) / 2, (lo + hi) / 2, (lo + hi) / 2};
+  const std::int32_t root = new_cell(a, center, (hi - lo) / 2 + 1e-9);
+  OMSP_CHECK(root == 0);
+  for (std::int64_t b = 0; b < a.n; ++b) insert_body(a, 0, b);
+  summarize(a, 0);
+
+  // Morton ordering (the paper's linearization for partitioning).
+  std::vector<std::pair<std::uint32_t, std::int32_t>> keyed(a.n);
+  for (std::int64_t b = 0; b < a.n; ++b)
+    keyed[b] = {morton3(a.bodies[b].pos, lo, hi), static_cast<std::int32_t>(b)};
+  std::sort(keyed.begin(), keyed.end());
+  for (std::int64_t i = 0; i < a.n; ++i) a.order[i] = keyed[i].second;
+
+  // Cost-weighted contiguous segments (weight = last iteration's work).
+  double total = 0;
+  for (std::int64_t b = 0; b < a.n; ++b) total += a.bodies[b].work;
+  a.seg[0] = 0;
+  double acc = 0;
+  std::int64_t pos = 0;
+  for (std::uint32_t t = 1; t <= nthreads; ++t) {
+    const double target =
+        total * static_cast<double>(t) / static_cast<double>(nthreads);
+    while (pos < a.n && (acc < target || pos == 0)) {
+      acc += a.bodies[a.order[pos]].work;
+      ++pos;
+      if (acc >= target && t < nthreads) break;
+    }
+    a.seg[t] = (t == nthreads) ? a.n : pos;
+  }
+  (void)p;
+}
+
+// Force on body b by partial tree traversal; returns the interaction count
+// (the work estimate for the next iteration's partition).
+double compute_force(const Arena& a, std::int64_t b, const Params& p) {
+  const Body& body = a.bodies[b];
+  double acc[3] = {0, 0, 0};
+  double interactions = 0;
+  // Explicit stack avoids deep recursion on shared data.
+  std::int32_t stack[512];
+  int top = 0;
+  stack[top++] = 0;
+  while (top > 0) {
+    const std::int32_t node = stack[--top];
+    if (node < 0) { // leaf body
+      const std::int64_t ob = decode_body(node);
+      if (ob == b) continue;
+      const Body& o = a.bodies[ob];
+      double dx[3], r2 = p.eps * p.eps;
+      for (int d = 0; d < 3; ++d) {
+        dx[d] = o.pos[d] - body.pos[d];
+        r2 += dx[d] * dx[d];
+      }
+      const double inv_r = 1.0 / std::sqrt(r2);
+      const double f = o.mass * inv_r * inv_r * inv_r;
+      for (int d = 0; d < 3; ++d) acc[d] += f * dx[d];
+      interactions += 1;
+      continue;
+    }
+    const Cell& c = a.cells[node];
+    if (c.mass <= 0) continue;
+    double dx[3], r2 = p.eps * p.eps;
+    for (int d = 0; d < 3; ++d) {
+      dx[d] = c.com[d] - body.pos[d];
+      r2 += dx[d] * dx[d];
+    }
+    const double size = 2 * c.half;
+    if (size * size < p.theta * p.theta * r2) {
+      // Far enough: use the cell's aggregate.
+      const double inv_r = 1.0 / std::sqrt(r2);
+      const double f = c.mass * inv_r * inv_r * inv_r;
+      for (int d = 0; d < 3; ++d) acc[d] += f * dx[d];
+      interactions += 1;
+    } else {
+      for (const std::int32_t ch : c.child) {
+        if (ch == kEmpty) continue;
+        OMSP_CHECK(top < 511);
+        stack[top++] = ch;
+      }
+    }
+  }
+  Body& mut = a.bodies[b];
+  for (int d = 0; d < 3; ++d) mut.acc[d] = acc[d];
+  return interactions;
+}
+
+void init_bodies(Body* bodies, const Params& p) {
+  Rng rng(p.seed);
+  for (std::int64_t b = 0; b < p.bodies; ++b) {
+    for (int d = 0; d < 3; ++d) {
+      bodies[b].pos[d] = rng.next_double();
+      bodies[b].vel[d] = 0.02 * rng.next_double(-1.0, 1.0);
+      bodies[b].acc[d] = 0;
+    }
+    bodies[b].mass = 1.0 / static_cast<double>(p.bodies);
+    bodies[b].work = 1.0;
+  }
+}
+
+double position_checksum(const Body* bodies, std::int64_t n) {
+  double s = 0;
+  for (std::int64_t b = 0; b < n; ++b)
+    for (int d = 0; d < 3; ++d) s += bodies[b].pos[d];
+  return s;
+}
+
+std::int64_t cells_needed(std::int64_t bodies) { return 16 * bodies + 64; }
+
+} // namespace
+
+std::uint32_t morton3(const double pos[3], double lo, double hi) {
+  std::uint32_t key = 0;
+  for (int d = 0; d < 3; ++d) {
+    const double t = (pos[d] - lo) / (hi - lo);
+    auto q = static_cast<std::uint32_t>(t * 1023.0);
+    if (q > 1023) q = 1023;
+    // Interleave 10 bits of q into positions d, d+3, d+6, ...
+    for (int bit = 0; bit < 10; ++bit)
+      key |= ((q >> bit) & 1u) << (3 * bit + d);
+  }
+  return key;
+}
+
+Result run_seq(const Params& p, double cpu_scale) {
+  return run_sequential(cpu_scale, [&] {
+    std::vector<Body> bodies(p.bodies);
+    std::vector<Cell> cells(cells_needed(p.bodies));
+    std::vector<std::int32_t> order(p.bodies);
+    std::vector<std::int64_t> seg(2);
+    std::int32_t cell_count = 0;
+    Arena a{bodies.data(), cells.data(),  order.data(),         seg.data(),
+            &cell_count,   p.bodies,      cells_needed(p.bodies)};
+    init_bodies(bodies.data(), p);
+    for (int it = 0; it < p.iters; ++it) {
+      build_tree(a, p, 1);
+      for (std::int64_t i = 0; i < a.n; ++i)
+        a.bodies[a.order[i]].work = compute_force(a, a.order[i], p);
+      for (std::int64_t b = 0; b < a.n; ++b)
+        for (int d = 0; d < 3; ++d) {
+          bodies[b].vel[d] += p.dt * bodies[b].acc[d];
+          bodies[b].pos[d] += p.dt * bodies[b].vel[d];
+        }
+    }
+    return position_checksum(bodies.data(), p.bodies);
+  });
+}
+
+Result run_omp(const Params& p, const tmk::Config& cfg_in) {
+  tmk::Config cfg = cfg_in;
+  const std::size_t need =
+      static_cast<std::size_t>(p.bodies) * sizeof(Body) +
+      static_cast<std::size_t>(cells_needed(p.bodies)) * sizeof(Cell) +
+      (2u << 20);
+  cfg.heap_bytes = std::max(cfg.heap_bytes, need);
+  core::OmpRuntime rt(cfg);
+  const std::uint32_t nthreads = rt.max_threads();
+
+  auto bodies = rt.alloc_page_aligned<Body>(p.bodies);
+  auto cells = rt.alloc_page_aligned<Cell>(cells_needed(p.bodies));
+  auto order = rt.alloc_page_aligned<std::int32_t>(p.bodies);
+  auto seg = rt.alloc_page_aligned<std::int64_t>(nthreads + 1);
+  auto cell_count = rt.alloc_page_aligned<std::int32_t>(1);
+  init_bodies(bodies.local(), p);
+
+  return run_openmp(rt, [&] {
+    for (int it = 0; it < p.iters; ++it) {
+      // One parallel region per iteration (the paper's `parallel region`).
+      rt.parallel([&](core::Team& t) {
+        Arena a{bodies.local(), cells.local(),        order.local(),
+                seg.local(),    cell_count.local(),   p.bodies,
+                cells_needed(p.bodies)};
+        // Step 1: master rebuilds the tree (single thread).
+        t.master([&] { build_tree(a, p, t.num_threads()); });
+        t.barrier();
+        // Step 2: force evaluation over this thread's Morton segment.
+        const std::int64_t lo = a.seg[t.thread_num()];
+        const std::int64_t hi = a.seg[t.thread_num() + 1];
+        for (std::int64_t i = lo; i < hi; ++i)
+          a.bodies[a.order[i]].work = compute_force(a, a.order[i], p);
+        t.barrier();
+        // Position update for the same segment.
+        for (std::int64_t i = lo; i < hi; ++i) {
+          Body& b = a.bodies[a.order[i]];
+          for (int d = 0; d < 3; ++d) {
+            b.vel[d] += p.dt * b.acc[d];
+            b.pos[d] += p.dt * b.vel[d];
+          }
+        }
+      });
+    }
+    return position_checksum(bodies.local(), p.bodies);
+  });
+}
+
+Result run_mpi(const Params& p, const sim::Topology& topo,
+               const sim::CostModel& cost) {
+  mpi::MpiWorld world(topo, cost);
+  Result result;
+  double sum = 0;
+
+  world.run([&](mpi::Comm& c) {
+    const int np = c.size();
+    const std::uint32_t nthreads = static_cast<std::uint32_t>(np);
+    std::vector<Body> bodies(p.bodies);
+    std::vector<Cell> cells(cells_needed(p.bodies));
+    std::vector<std::int32_t> order(p.bodies);
+    std::vector<std::int64_t> seg(np + 1);
+    std::int32_t cell_count = 0;
+    Arena a{bodies.data(), cells.data(),  order.data(),         seg.data(),
+            &cell_count,   p.bodies,      cells_needed(p.bodies)};
+    init_bodies(bodies.data(), p); // particles replicated on every process
+
+    // Exchange slots: each rank sends (index, pos, vel, work) for the bodies
+    // of its segment. Cost-weighted segments vary in size, so the slot width
+    // is agreed per iteration (allreduce of the largest segment).
+    struct Update {
+      std::int32_t idx;
+      double pos[3];
+      double vel[3];
+      double work;
+    };
+    std::vector<Update> mine(p.bodies), all;
+
+    for (int it = 0; it < p.iters; ++it) {
+      // Every process duplicates the tree build (paper §5.3.2).
+      build_tree(a, p, nthreads);
+      const std::int64_t lo = seg[c.rank()], hi = seg[c.rank() + 1];
+      // Force phase first (all reads see pre-step positions), then the
+      // integration phase — mirroring the barrier between the two steps in
+      // the shared-memory versions.
+      for (std::int64_t i = lo; i < hi; ++i)
+        bodies[order[i]].work = compute_force(a, order[i], p);
+      std::int64_t count = 0;
+      for (std::int64_t i = lo; i < hi; ++i) {
+        Body& b = bodies[order[i]];
+        for (int d = 0; d < 3; ++d) {
+          b.vel[d] += p.dt * b.acc[d];
+          b.pos[d] += p.dt * b.vel[d];
+        }
+        Update& u = mine[count++];
+        u.idx = order[i];
+        for (int d = 0; d < 3; ++d) {
+          u.pos[d] = b.pos[d];
+          u.vel[d] = b.vel[d];
+        }
+        u.work = b.work;
+      }
+      std::int64_t max_seg = count;
+      c.allreduce(&max_seg, 1,
+                  [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+      for (std::int64_t i = count; i < max_seg; ++i) mine[i].idx = -1;
+      all.resize(static_cast<std::size_t>(max_seg) * np);
+      // The single per-iteration exchange of modified particles.
+      c.allgather(mine.data(), all.data(), static_cast<std::size_t>(max_seg));
+      for (std::int64_t i = 0; i < max_seg * np; ++i) {
+        const Update& u = all[i];
+        if (u.idx < 0) continue;
+        Body& b = bodies[u.idx];
+        for (int d = 0; d < 3; ++d) {
+          b.pos[d] = u.pos[d];
+          b.vel[d] = u.vel[d];
+        }
+        b.work = u.work;
+      }
+    }
+    double part = 0;
+    const std::int64_t lo = seg[c.rank()], hi = seg[c.rank() + 1];
+    for (std::int64_t i = lo; i < hi; ++i)
+      for (int d = 0; d < 3; ++d) part += bodies[order[i]].pos[d];
+    c.reduce(0, &part, 1, std::plus<double>{});
+    if (c.rank() == 0) sum = part;
+  });
+
+  result.checksum = sum;
+  result.time_us = world.makespan_us();
+  result.stats = world.stats();
+  return result;
+}
+
+} // namespace omsp::apps::barnes

@@ -1,0 +1,42 @@
+// Barnes-Hut N-body simulation (§5.2 "Barnes", from SPLASH-2).
+//
+// Each iteration has two steps, exactly as the paper describes:
+//   1. Tree building — a single thread (the master) reads the particles and
+//      rebuilds the shared octree.
+//   2. Force evaluation — all threads participate. Particles are ordered by
+//      the Morton (Z-order) linearization of space and divided into
+//      contiguous segments weighted by the interaction counts recorded in
+//      the previous iteration; each thread evaluates forces for its segment
+//      by partially traversing the shared tree (so every thread reads a
+//      large portion of the tree).
+//
+// The OpenMP port uses the `parallel region` directive (master + barriers
+// inside one region). The MPI version replicates the particles and
+// duplicates the tree build on every process; its only communication per
+// iteration is the exchange of each process's updated particles — the
+// pattern the paper credits for MPI-Barnes' tiny message count.
+#pragma once
+
+#include "apps/common.hpp"
+
+namespace omsp::apps::barnes {
+
+struct Params {
+  std::int64_t bodies = 1024;
+  int iters = 3;
+  double theta = 0.7; // opening criterion
+  double dt = 0.02;
+  double eps = 0.05;  // gravitational softening
+  std::uint64_t seed = 17;
+};
+
+Result run_seq(const Params& p, double cpu_scale);
+Result run_omp(const Params& p, const tmk::Config& cfg);
+Result run_mpi(const Params& p, const sim::Topology& topo,
+               const sim::CostModel& cost);
+
+// 30-bit Morton (Z-order) code of a position quantized within [lo, hi)^3;
+// exposed for unit tests.
+std::uint32_t morton3(const double pos[3], double lo, double hi);
+
+} // namespace omsp::apps::barnes

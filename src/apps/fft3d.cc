@@ -1,0 +1,370 @@
+#include "apps/fft3d.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+
+namespace omsp::apps::fft3d {
+
+namespace {
+
+inline Cplx operator+(Cplx a, Cplx b) { return {a.re + b.re, a.im + b.im}; }
+inline Cplx operator-(Cplx a, Cplx b) { return {a.re - b.re, a.im - b.im}; }
+inline Cplx operator*(Cplx a, Cplx b) {
+  return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+}
+
+// Index helpers. A is laid out (z, y, x) with x contiguous; B, the transposed
+// array, is (x, y, z) with z contiguous.
+struct Dims {
+  std::int64_t nx, ny, nz;
+  std::int64_t a_index(std::int64_t z, std::int64_t y, std::int64_t x) const {
+    return (z * ny + y) * nx + x;
+  }
+  std::int64_t b_index(std::int64_t x, std::int64_t y, std::int64_t z) const {
+    return (x * ny + y) * nz + z;
+  }
+  std::int64_t total() const { return nx * ny * nz; }
+};
+
+void fill_input(Cplx* a, const Params& p) {
+  Rng rng(p.seed);
+  const std::int64_t total = p.nx * p.ny * p.nz;
+  for (std::int64_t i = 0; i < total; ++i) {
+    a[i].re = rng.next_double(-0.5, 0.5);
+    a[i].im = rng.next_double(-0.5, 0.5);
+  }
+}
+
+// Frequency index: 0..n/2 then negative wrap.
+inline std::int64_t freq(std::int64_t k, std::int64_t n) {
+  return k <= n / 2 ? k : k - n;
+}
+
+// Evolution factor for frequency (kx, ky, kz) at time step t.
+inline double evolve_factor(const Dims& d, std::int64_t x, std::int64_t y,
+                            std::int64_t z, int t) {
+  const double kx = static_cast<double>(freq(x, d.nx));
+  const double ky = static_cast<double>(freq(y, d.ny));
+  const double kz = static_cast<double>(freq(z, d.nz));
+  return std::exp(-1e-4 * static_cast<double>(t) *
+                  (kx * kx + ky * ky + kz * kz));
+}
+
+// FFT the y-lines of A for one z plane using a gather/scatter buffer.
+void fft_y_plane(Cplx* a, const Dims& d, std::int64_t z, bool inv,
+                 std::vector<Cplx>& line) {
+  line.resize(d.ny);
+  for (std::int64_t x = 0; x < d.nx; ++x) {
+    for (std::int64_t y = 0; y < d.ny; ++y) line[y] = a[d.a_index(z, y, x)];
+    fft1d(line.data(), d.ny, inv);
+    for (std::int64_t y = 0; y < d.ny; ++y) a[d.a_index(z, y, x)] = line[y];
+  }
+}
+
+double checksum_sample(const Cplx* a, std::int64_t total) {
+  double s = 0;
+  for (std::int64_t k = 0; k < 1024; ++k) {
+    const Cplx& c = a[(17 * k) % total];
+    s += c.re + c.im;
+  }
+  return s;
+}
+
+} // namespace
+
+void fft1d(Cplx* a, std::int64_t n, bool inv) {
+  OMSP_CHECK(is_pow2(static_cast<std::uint64_t>(n)));
+  // Bit-reversal permutation.
+  for (std::int64_t i = 1, j = 0; i < n; ++i) {
+    std::int64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::int64_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2 * std::numbers::pi / static_cast<double>(len) * (inv ? 1 : -1);
+    const Cplx wl{std::cos(ang), std::sin(ang)};
+    for (std::int64_t i = 0; i < n; i += len) {
+      Cplx w{1, 0};
+      for (std::int64_t k = 0; k < len / 2; ++k) {
+        const Cplx u = a[i + k];
+        const Cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w = w * wl;
+      }
+    }
+  }
+  if (inv) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      a[i].re *= scale;
+      a[i].im *= scale;
+    }
+  }
+}
+
+Result run_seq(const Params& p, double cpu_scale) {
+  return run_sequential(cpu_scale, [&] {
+    const Dims d{p.nx, p.ny, p.nz};
+    std::vector<Cplx> a(d.total()), b(d.total()), c(d.total());
+    fill_input(a.data(), p);
+    std::vector<Cplx> line;
+
+    // Forward: x then y FFTs in A, transpose, z FFT in B.
+    for (std::int64_t z = 0; z < d.nz; ++z) {
+      for (std::int64_t y = 0; y < d.ny; ++y)
+        fft1d(a.data() + d.a_index(z, y, 0), d.nx, false);
+      fft_y_plane(a.data(), d, z, false, line);
+    }
+    for (std::int64_t x = 0; x < d.nx; ++x)
+      for (std::int64_t y = 0; y < d.ny; ++y)
+        for (std::int64_t z = 0; z < d.nz; ++z)
+          b[d.b_index(x, y, z)] = a[d.a_index(z, y, x)];
+    for (std::int64_t x = 0; x < d.nx; ++x)
+      for (std::int64_t y = 0; y < d.ny; ++y)
+        fft1d(b.data() + d.b_index(x, y, 0), d.nz, false);
+
+    double sum = 0;
+    for (int t = 1; t <= p.iters; ++t) {
+      // Evolve in frequency space, then inverse transform into A layout.
+      for (std::int64_t x = 0; x < d.nx; ++x)
+        for (std::int64_t y = 0; y < d.ny; ++y)
+          for (std::int64_t z = 0; z < d.nz; ++z) {
+            const double f = evolve_factor(d, x, y, z, t);
+            Cplx& src = b[d.b_index(x, y, z)];
+            c[d.b_index(x, y, z)] = {src.re * f, src.im * f};
+          }
+      for (std::int64_t x = 0; x < d.nx; ++x)
+        for (std::int64_t y = 0; y < d.ny; ++y)
+          fft1d(c.data() + d.b_index(x, y, 0), d.nz, true);
+      for (std::int64_t z = 0; z < d.nz; ++z)
+        for (std::int64_t y = 0; y < d.ny; ++y)
+          for (std::int64_t x = 0; x < d.nx; ++x)
+            a[d.a_index(z, y, x)] = c[d.b_index(x, y, z)];
+      for (std::int64_t z = 0; z < d.nz; ++z) {
+        fft_y_plane(a.data(), d, z, true, line);
+        for (std::int64_t y = 0; y < d.ny; ++y)
+          fft1d(a.data() + d.a_index(z, y, 0), d.nx, true);
+      }
+      sum += checksum_sample(a.data(), d.total());
+    }
+    return sum;
+  });
+}
+
+Result run_omp(const Params& p, const tmk::Config& cfg_in) {
+  const Dims d{p.nx, p.ny, p.nz};
+  tmk::Config cfg = cfg_in;
+  cfg.heap_bytes = std::max<std::size_t>(
+      cfg.heap_bytes,
+      3 * static_cast<std::size_t>(d.total()) * sizeof(Cplx) + (2u << 20));
+  core::OmpRuntime rt(cfg);
+
+  auto ga = rt.alloc_page_aligned<Cplx>(d.total());
+  auto gb = rt.alloc_page_aligned<Cplx>(d.total());
+  auto gc = rt.alloc_page_aligned<Cplx>(d.total());
+  fill_input(ga.local(), p);
+
+  return run_openmp(rt, [&] {
+    // Forward transform (one region; for_loops barrier between phases).
+    rt.parallel([&](core::Team& t) {
+      Cplx* a = ga.local();
+      Cplx* b = gb.local();
+      std::vector<Cplx> line;
+      // x and y FFTs over this thread's z planes.
+      t.for_loop(0, d.nz, core::Schedule::static_block(), [&](std::int64_t z) {
+        for (std::int64_t y = 0; y < d.ny; ++y)
+          fft1d(a + d.a_index(z, y, 0), d.nx, false);
+        fft_y_plane(a, d, z, false, line);
+      });
+      // Transpose (reads cross-slab) + z FFT over this thread's x planes.
+      t.for_loop(0, d.nx, core::Schedule::static_block(), [&](std::int64_t x) {
+        for (std::int64_t y = 0; y < d.ny; ++y) {
+          for (std::int64_t z = 0; z < d.nz; ++z)
+            b[d.b_index(x, y, z)] = a[d.a_index(z, y, x)];
+          fft1d(b + d.b_index(x, y, 0), d.nz, false);
+        }
+      });
+    });
+
+    double sum = 0;
+    for (int t_step = 1; t_step <= p.iters; ++t_step) {
+      rt.parallel([&](core::Team& t) {
+        Cplx* a = ga.local();
+        Cplx* b = gb.local();
+        Cplx* c = gc.local();
+        std::vector<Cplx> line;
+        // Evolve + inverse z FFT over own x planes.
+        t.for_loop(0, d.nx, core::Schedule::static_block(),
+                   [&](std::int64_t x) {
+                     for (std::int64_t y = 0; y < d.ny; ++y) {
+                       for (std::int64_t z = 0; z < d.nz; ++z) {
+                         const double f = evolve_factor(d, x, y, z, t_step);
+                         const Cplx& src = b[d.b_index(x, y, z)];
+                         c[d.b_index(x, y, z)] = {src.re * f, src.im * f};
+                       }
+                       fft1d(c + d.b_index(x, y, 0), d.nz, true);
+                     }
+                   });
+        // Transpose back (the global transpose: reads cross-slab) + inverse
+        // y and x FFTs over own z planes.
+        t.for_loop(0, d.nz, core::Schedule::static_block(),
+                   [&](std::int64_t z) {
+                     for (std::int64_t y = 0; y < d.ny; ++y)
+                       for (std::int64_t x = 0; x < d.nx; ++x)
+                         a[d.a_index(z, y, x)] = c[d.b_index(x, y, z)];
+                     fft_y_plane(a, d, z, true, line);
+                     for (std::int64_t y = 0; y < d.ny; ++y)
+                       fft1d(a + d.a_index(z, y, 0), d.nx, true);
+                   });
+      });
+      // Master samples the checksum between regions.
+      sum += checksum_sample(ga.local(), d.total());
+    }
+    return sum;
+  });
+}
+
+Result run_mpi(const Params& p, const sim::Topology& topo,
+               const sim::CostModel& cost) {
+  mpi::MpiWorld world(topo, cost);
+  const Dims d{p.nx, p.ny, p.nz};
+  const int np = world.size();
+  OMSP_CHECK_MSG(d.nz % np == 0 && d.nx % np == 0,
+                 "fft3d MPI needs nz and nx divisible by nprocs");
+  Result result;
+  double sum = 0;
+
+  world.run([&](mpi::Comm& c) {
+    const std::int64_t zblk = d.nz / np; // my z planes in A layout
+    const std::int64_t xblk = d.nx / np; // my x planes in B layout
+    const std::int64_t zlo = c.rank() * zblk;
+    const std::int64_t xlo = c.rank() * xblk;
+
+    // Local slabs. a: (zblk, ny, nx); b/cw: (xblk, ny, nz).
+    std::vector<Cplx> a(zblk * d.ny * d.nx);
+    std::vector<Cplx> b(xblk * d.ny * d.nz), cw(xblk * d.ny * d.nz);
+    auto ai = [&](std::int64_t z, std::int64_t y, std::int64_t x) {
+      return (z * d.ny + y) * d.nx + x;
+    };
+    auto bi = [&](std::int64_t x, std::int64_t y, std::int64_t z) {
+      return (x * d.ny + y) * d.nz + z;
+    };
+    {
+      // Deterministic replicated init, then keep own slab.
+      std::vector<Cplx> full(d.total());
+      fill_input(full.data(), p);
+      for (std::int64_t z = 0; z < zblk; ++z)
+        for (std::int64_t y = 0; y < d.ny; ++y)
+          for (std::int64_t x = 0; x < d.nx; ++x)
+            a[ai(z, y, x)] = full[d.a_index(zlo + z, y, x)];
+    }
+    std::vector<Cplx> line;
+    const std::int64_t block = zblk * d.ny * xblk; // alltoall cell
+    std::vector<Cplx> sendbuf(block * np), recvbuf(block * np);
+
+    auto transpose_a_to_b = [&] {
+      // Pack: cell for destination r holds (my z's, all y, r's x's).
+      for (int r = 0; r < np; ++r) {
+        Cplx* cell = sendbuf.data() + r * block;
+        std::int64_t k = 0;
+        for (std::int64_t z = 0; z < zblk; ++z)
+          for (std::int64_t y = 0; y < d.ny; ++y)
+            for (std::int64_t x = 0; x < xblk; ++x)
+              cell[k++] = a[ai(z, y, r * xblk + x)];
+      }
+      c.alltoall(sendbuf.data(), recvbuf.data(), block);
+      for (int r = 0; r < np; ++r) {
+        const Cplx* cell = recvbuf.data() + r * block;
+        std::int64_t k = 0;
+        for (std::int64_t z = 0; z < zblk; ++z)
+          for (std::int64_t y = 0; y < d.ny; ++y)
+            for (std::int64_t x = 0; x < xblk; ++x)
+              b[bi(x, y, r * zblk + z)] = cell[k++];
+      }
+    };
+    auto transpose_b_to_a = [&](const std::vector<Cplx>& src) {
+      for (int r = 0; r < np; ++r) {
+        Cplx* cell = sendbuf.data() + r * block;
+        std::int64_t k = 0;
+        for (std::int64_t z = 0; z < zblk; ++z)
+          for (std::int64_t y = 0; y < d.ny; ++y)
+            for (std::int64_t x = 0; x < xblk; ++x)
+              cell[k++] = src[bi(x, y, r * zblk + z)];
+      }
+      c.alltoall(sendbuf.data(), recvbuf.data(), block);
+      for (int r = 0; r < np; ++r) {
+        const Cplx* cell = recvbuf.data() + r * block;
+        std::int64_t k = 0;
+        for (std::int64_t z = 0; z < zblk; ++z)
+          for (std::int64_t y = 0; y < d.ny; ++y)
+            for (std::int64_t x = 0; x < xblk; ++x)
+              a[ai(z, y, r * xblk + x)] = cell[k++];
+      }
+    };
+
+    // Forward transform.
+    for (std::int64_t z = 0; z < zblk; ++z) {
+      for (std::int64_t y = 0; y < d.ny; ++y)
+        fft1d(a.data() + ai(z, y, 0), d.nx, false);
+      line.resize(d.ny);
+      for (std::int64_t x = 0; x < d.nx; ++x) {
+        for (std::int64_t y = 0; y < d.ny; ++y) line[y] = a[ai(z, y, x)];
+        fft1d(line.data(), d.ny, false);
+        for (std::int64_t y = 0; y < d.ny; ++y) a[ai(z, y, x)] = line[y];
+      }
+    }
+    transpose_a_to_b();
+    for (std::int64_t x = 0; x < xblk; ++x)
+      for (std::int64_t y = 0; y < d.ny; ++y)
+        fft1d(b.data() + bi(x, y, 0), d.nz, false);
+
+    double local_sum = 0;
+    for (int t_step = 1; t_step <= p.iters; ++t_step) {
+      for (std::int64_t x = 0; x < xblk; ++x)
+        for (std::int64_t y = 0; y < d.ny; ++y) {
+          for (std::int64_t z = 0; z < d.nz; ++z) {
+            const double f = evolve_factor(d, xlo + x, y, z, t_step);
+            const Cplx& src = b[bi(x, y, z)];
+            cw[bi(x, y, z)] = {src.re * f, src.im * f};
+          }
+          fft1d(cw.data() + bi(x, y, 0), d.nz, true);
+        }
+      transpose_b_to_a(cw);
+      for (std::int64_t z = 0; z < zblk; ++z) {
+        line.resize(d.ny);
+        for (std::int64_t x = 0; x < d.nx; ++x) {
+          for (std::int64_t y = 0; y < d.ny; ++y) line[y] = a[ai(z, y, x)];
+          fft1d(line.data(), d.ny, true);
+          for (std::int64_t y = 0; y < d.ny; ++y) a[ai(z, y, x)] = line[y];
+        }
+        for (std::int64_t y = 0; y < d.ny; ++y)
+          fft1d(a.data() + ai(z, y, 0), d.nx, true);
+      }
+      // Checksum sample over indices this rank owns.
+      for (std::int64_t k = 0; k < 1024; ++k) {
+        const std::int64_t idx = (17 * k) % d.total();
+        const std::int64_t z = idx / (d.ny * d.nx);
+        if (z >= zlo && z < zlo + zblk) {
+          const Cplx& v = a[idx - zlo * d.ny * d.nx];
+          local_sum += v.re + v.im;
+        }
+      }
+    }
+    c.reduce(0, &local_sum, 1, std::plus<double>{});
+    if (c.rank() == 0) sum = local_sum;
+  });
+
+  result.checksum = sum;
+  result.time_us = world.makespan_us();
+  result.stats = world.stats();
+  return result;
+}
+
+} // namespace omsp::apps::fft3d

@@ -1,0 +1,39 @@
+// 3D-FFT — the NAS FT kernel (§5.2 "3D-FFT").
+//
+// Solves a PDE spectrally: the initial array is transformed once with a
+// forward 3-D FFT; each iteration multiplies by evolution factors in the
+// frequency domain, applies an inverse 3-D FFT, and folds a sample of the
+// result into a running checksum. The 3-D transforms decompose into 1-D FFTs
+// along each axis; the z-axis pass requires a global transpose, which is the
+// all-to-all communication the paper's analysis centers on.
+#pragma once
+
+#include "apps/common.hpp"
+
+namespace omsp::apps::fft3d {
+
+// Trivially-copyable complex type (lives in DSM pages and MPI payloads).
+struct Cplx {
+  double re = 0;
+  double im = 0;
+};
+
+struct Params {
+  // Grid dimensions; all must be powers of two.
+  std::int64_t nx = 32;
+  std::int64_t ny = 32;
+  std::int64_t nz = 16;
+  int iters = 4;
+  std::uint64_t seed = 5;
+};
+
+Result run_seq(const Params& p, double cpu_scale);
+Result run_omp(const Params& p, const tmk::Config& cfg);
+Result run_mpi(const Params& p, const sim::Topology& topo,
+               const sim::CostModel& cost);
+
+// In-place radix-2 FFT of length n (power of two); inverse when inv is true
+// (scaled by 1/n). Exposed for unit tests.
+void fft1d(Cplx* a, std::int64_t n, bool inv);
+
+} // namespace omsp::apps::fft3d

@@ -1,0 +1,140 @@
+#include "apps/mgs.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace omsp::apps::mgs {
+
+namespace {
+
+void fill_input(double* a, const Params& p) {
+  Rng rng(p.seed);
+  for (std::int64_t i = 0; i < p.n * p.dim; ++i)
+    a[i] = rng.next_double(-1.0, 1.0);
+  // Make the matrix comfortably full-rank: boost the diagonal band.
+  for (std::int64_t i = 0; i < p.n; ++i) a[i * p.dim + (i % p.dim)] += 4.0;
+}
+
+inline double dot(const double* x, const double* y, std::int64_t d) {
+  double s = 0;
+  for (std::int64_t k = 0; k < d; ++k) s += x[k] * y[k];
+  return s;
+}
+
+// Normalize row i; returns false if the vector is (numerically) zero.
+inline void normalize(double* v, std::int64_t d) {
+  const double norm = std::sqrt(dot(v, v, d));
+  for (std::int64_t k = 0; k < d; ++k) v[k] /= norm;
+}
+
+// Remove the projection of row j onto (unit) row i.
+inline void orthogonalize(double* vj, const double* vi, std::int64_t d) {
+  const double proj = dot(vj, vi, d);
+  for (std::int64_t k = 0; k < d; ++k) vj[k] -= proj * vi[k];
+}
+
+double matrix_sum(const double* a, std::int64_t n, std::int64_t d) {
+  double s = 0;
+  for (std::int64_t i = 0; i < n * d; ++i) s += a[i];
+  return s;
+}
+
+} // namespace
+
+double orthogonality_defect(const double* basis, std::int64_t n,
+                            std::int64_t dim) {
+  double worst = 0;
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = i; j < n; ++j) {
+      const double d = dot(basis + i * dim, basis + j * dim, dim);
+      const double defect = (i == j) ? std::abs(d - 1.0) : std::abs(d);
+      worst = std::max(worst, defect);
+    }
+  return worst;
+}
+
+Result run_seq(const Params& p, double cpu_scale) {
+  return run_sequential(cpu_scale, [&] {
+    std::vector<double> a(p.n * p.dim);
+    fill_input(a.data(), p);
+    for (std::int64_t i = 0; i < p.n; ++i) {
+      double* vi = a.data() + i * p.dim;
+      normalize(vi, p.dim);
+      for (std::int64_t j = i + 1; j < p.n; ++j)
+        orthogonalize(a.data() + j * p.dim, vi, p.dim);
+    }
+    return matrix_sum(a.data(), p.n, p.dim);
+  });
+}
+
+Result run_omp(const Params& p, const tmk::Config& cfg_in) {
+  tmk::Config cfg = cfg_in;
+  const std::size_t bytes =
+      static_cast<std::size_t>(p.n * p.dim) * sizeof(double);
+  cfg.heap_bytes = std::max(cfg.heap_bytes, bytes + (1u << 20));
+  core::OmpRuntime rt(cfg);
+
+  auto a = rt.alloc_page_aligned<double>(static_cast<std::size_t>(p.n * p.dim));
+  fill_input(a.local(), p);
+
+  return run_openmp(rt, [&] {
+    for (std::int64_t i = 0; i < p.n; ++i) {
+      // Sequential section: the master normalizes vector i (§5.2).
+      normalize(a.local() + i * p.dim, p.dim);
+      // #pragma omp parallel for schedule(static, 1)
+      rt.parallel_for(i + 1, p.n, core::Schedule::static_chunked(1),
+                      [&](std::int64_t j) {
+                        orthogonalize(a.local() + j * p.dim,
+                                      a.local() + i * p.dim, p.dim);
+                      });
+    }
+    return matrix_sum(a.local(), p.n, p.dim);
+  });
+}
+
+Result run_mpi(const Params& p, const sim::Topology& topo,
+               const sim::CostModel& cost) {
+  mpi::MpiWorld world(topo, cost);
+  Result result;
+  double checksum = 0;
+
+  world.run([&](mpi::Comm& c) {
+    const int np = c.size();
+    const int me = c.rank();
+    // Cyclic ownership: rank r owns vectors r, r+np, r+2np, ...
+    std::vector<double> a(p.n * p.dim);
+    fill_input(a.data(), p); // every rank builds the input; owners keep theirs
+
+    std::vector<double> pivot(p.dim);
+    for (std::int64_t i = 0; i < p.n; ++i) {
+      const int owner = static_cast<int>(i % np);
+      if (owner == me) {
+        normalize(a.data() + i * p.dim, p.dim);
+        std::copy_n(a.data() + i * p.dim, p.dim, pivot.data());
+      }
+      c.bcast_n(owner, pivot.data(), static_cast<std::size_t>(p.dim));
+      if (owner == me)
+        std::copy_n(pivot.data(), p.dim, a.data() + i * p.dim);
+      for (std::int64_t j = i + 1; j < p.n; ++j)
+        if (static_cast<int>(j % np) == me)
+          orthogonalize(a.data() + j * p.dim, pivot.data(), p.dim);
+    }
+
+    // Checksum over owned vectors.
+    double part = 0;
+    for (std::int64_t j = 0; j < p.n; ++j)
+      if (static_cast<int>(j % np) == me)
+        for (std::int64_t k = 0; k < p.dim; ++k) part += a[j * p.dim + k];
+    c.reduce(0, &part, 1, std::plus<double>{});
+    if (me == 0) checksum = part;
+  });
+
+  result.checksum = checksum;
+  result.time_us = world.makespan_us();
+  result.stats = world.stats();
+  return result;
+}
+
+} // namespace omsp::apps::mgs

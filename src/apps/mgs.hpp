@@ -1,0 +1,31 @@
+// Modified Gram-Schmidt orthogonalization (§5.2 "MGS").
+//
+// Computes an orthonormal basis for a set of N D-dimensional vectors. At
+// iteration i the algorithm normalizes vector i sequentially, then makes all
+// vectors j > i orthogonal to it in parallel. The paper assigns vectors to
+// threads cyclically (static schedule, chunk size 1) to balance the
+// shrinking triangular workload.
+#pragma once
+
+#include "apps/common.hpp"
+
+namespace omsp::apps::mgs {
+
+struct Params {
+  std::int64_t n = 128;   // number of vectors
+  std::int64_t dim = 128; // vector dimension
+  std::uint64_t seed = 7; // input matrix generator
+};
+
+Result run_seq(const Params& p, double cpu_scale);
+Result run_omp(const Params& p, const tmk::Config& cfg);
+Result run_mpi(const Params& p, const sim::Topology& topo,
+               const sim::CostModel& cost);
+
+// Orthogonality defect of the produced basis (max |v_i . v_j|, i != j) plus
+// norm defect; used by tests. The checksum in Result is the sum of all
+// elements of the final basis.
+double orthogonality_defect(const double* basis, std::int64_t n,
+                            std::int64_t dim);
+
+} // namespace omsp::apps::mgs

@@ -1,0 +1,151 @@
+#include "apps/sor.hpp"
+
+#include <vector>
+
+namespace omsp::apps::sor {
+
+namespace {
+
+// Grid layout: (rows + 2) x (cols + 2) with a fixed boundary frame. Red
+// elements have (r + c) even, black ones odd.
+inline std::int64_t stride(const Params& p) { return p.cols + 2; }
+
+void init_boundary(double* g, const Params& p) {
+  const std::int64_t s = stride(p);
+  for (std::int64_t c = 0; c < p.cols + 2; ++c) {
+    g[c] = p.boundary;
+    g[(p.rows + 1) * s + c] = p.boundary;
+  }
+  for (std::int64_t r = 0; r < p.rows + 2; ++r) {
+    g[r * s] = p.boundary;
+    g[r * s + p.cols + 1] = p.boundary;
+  }
+}
+
+// Update one row's elements of the given color (0 = red, 1 = black).
+inline void relax_row(double* g, std::int64_t r, int color, const Params& p) {
+  const std::int64_t s = stride(p);
+  double* row = g + r * s;
+  const std::int64_t first = 1 + ((r + color) & 1);
+  for (std::int64_t c = first; c <= p.cols; c += 2)
+    row[c] = 0.25 * (row[c - 1] + row[c + 1] + row[c - s] + row[c + s]);
+}
+
+double grid_checksum(const double* g, const Params& p) {
+  const std::int64_t s = stride(p);
+  double sum = 0;
+  for (std::int64_t r = 1; r <= p.rows; ++r)
+    for (std::int64_t c = 1; c <= p.cols; ++c) sum += g[r * s + c];
+  return sum;
+}
+
+} // namespace
+
+Result run_seq(const Params& p, double cpu_scale) {
+  return run_sequential(cpu_scale, [&] {
+    std::vector<double> grid((p.rows + 2) * stride(p), 0.0);
+    init_boundary(grid.data(), p);
+    for (int it = 0; it < p.iters; ++it) {
+      for (int color = 0; color < 2; ++color)
+        for (std::int64_t r = 1; r <= p.rows; ++r)
+          relax_row(grid.data(), r, color, p);
+    }
+    return grid_checksum(grid.data(), p);
+  });
+}
+
+Result run_omp(const Params& p, const tmk::Config& cfg_in) {
+  tmk::Config cfg = cfg_in;
+  const std::size_t grid_bytes =
+      static_cast<std::size_t>((p.rows + 2) * stride(p)) * sizeof(double);
+  cfg.heap_bytes = std::max(cfg.heap_bytes, grid_bytes + (1u << 20));
+  core::OmpRuntime rt(cfg);
+
+  auto grid = rt.alloc_page_aligned<double>(
+      static_cast<std::size_t>((p.rows + 2) * stride(p)));
+  for (std::int64_t i = 0; i < (p.rows + 2) * stride(p); ++i) grid[i] = 0.0;
+  init_boundary(grid.local(), p);
+
+  return run_openmp(rt, [&] {
+    for (int it = 0; it < p.iters; ++it) {
+      for (int color = 0; color < 2; ++color) {
+        // #pragma omp parallel for  (one row per iteration, block schedule)
+        rt.parallel_for(1, p.rows + 1, core::Schedule::static_block(),
+                        [&](std::int64_t r) {
+                          relax_row(grid.local(), r, color, p);
+                        });
+      }
+    }
+    return grid_checksum(grid.local(), p);
+  });
+}
+
+Result run_mpi(const Params& p, const sim::Topology& topo,
+               const sim::CostModel& cost) {
+  mpi::MpiWorld world(topo, cost);
+  const std::int64_t s = stride(p);
+  std::vector<double> checksums(world.size(), 0.0);
+  Result result;
+
+  world.run([&](mpi::Comm& c) {
+    const int np = c.size();
+    const auto range =
+        block_partition(static_cast<std::uint64_t>(p.rows), np, c.rank());
+    const std::int64_t lo = 1 + static_cast<std::int64_t>(range.begin);
+    const std::int64_t hi = 1 + static_cast<std::int64_t>(range.end);
+    const std::int64_t my_rows = hi - lo;
+
+    // Local slab with two ghost rows (global rows lo-1 .. hi).
+    std::vector<double> slab((my_rows + 2) * s, 0.0);
+    auto row = [&](std::int64_t global_r) {
+      return slab.data() + (global_r - (lo - 1)) * s;
+    };
+    // Boundary frame.
+    for (std::int64_t r = lo - 1; r <= hi; ++r) {
+      row(r)[0] = p.boundary;
+      row(r)[p.cols + 1] = p.boundary;
+    }
+    if (lo == 1)
+      for (std::int64_t col = 0; col < s; ++col) row(0)[col] = p.boundary;
+    if (hi == p.rows + 1)
+      for (std::int64_t col = 0; col < s; ++col)
+        row(p.rows + 1)[col] = p.boundary;
+
+    const int up = c.rank() - 1;
+    const int down = c.rank() + 1;
+    for (int it = 0; it < p.iters; ++it) {
+      for (int color = 0; color < 2; ++color) {
+        // Exchange boundary rows with neighbours (whole rows, always — the
+        // communication pattern the paper contrasts against diffs).
+        if (my_rows > 0) {
+          if (up >= 0)
+            c.sendrecv(up, 10, row(lo), s * sizeof(double), up, 11,
+                       row(lo - 1), s * sizeof(double));
+          if (down < np)
+            c.sendrecv(down, 11, row(hi - 1), s * sizeof(double), down, 10,
+                       row(hi), s * sizeof(double));
+        }
+        for (std::int64_t r = lo; r < hi; ++r) {
+          double* g = row(r);
+          const std::int64_t first = 1 + ((r + color) & 1);
+          for (std::int64_t col = first; col <= p.cols; col += 2)
+            g[col] = 0.25 * (g[col - 1] + g[col + 1] + g[col - s] + g[col + s]);
+        }
+      }
+    }
+
+    // Checksum: reduce partial sums to rank 0.
+    double part = 0;
+    for (std::int64_t r = lo; r < hi; ++r)
+      for (std::int64_t col = 1; col <= p.cols; ++col) part += row(r)[col];
+    c.reduce(0, &part, 1, std::plus<double>{});
+    if (c.rank() == 0) checksums[0] = part;
+  });
+
+  result.checksum = checksums[0];
+  result.time_us = world.makespan_us();
+  result.stats = world.stats();
+  return result;
+}
+
+} // namespace omsp::apps::sor

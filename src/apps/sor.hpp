@@ -1,0 +1,30 @@
+// Red-Black Successive Over-Relaxation (§5.2 "SOR").
+//
+// Solves a PDE by iterating over a 2-D grid: each element is updated to the
+// average of its four nearest neighbours, with the grid colored like a
+// checkerboard so all updates of one color are independent.
+//
+// Paper configuration: 8K x 4K grid, 20 iterations, parallelized with
+// `parallel for` over rows. The MPI version partitions rows in blocks and
+// exchanges whole boundary rows each phase — which is why the paper finds
+// TreadMarks sends *less* data than MPI here (diffs skip unchanged bytes).
+#pragma once
+
+#include "apps/common.hpp"
+
+namespace omsp::apps::sor {
+
+struct Params {
+  std::int64_t rows = 512;
+  std::int64_t cols = 256;
+  int iters = 10;
+  // Boundary condition magnitude; interior starts at 0.
+  double boundary = 1.0;
+};
+
+Result run_seq(const Params& p, double cpu_scale);
+Result run_omp(const Params& p, const tmk::Config& cfg);
+Result run_mpi(const Params& p, const sim::Topology& topo,
+               const sim::CostModel& cost);
+
+} // namespace omsp::apps::sor

@@ -1,0 +1,388 @@
+#include "apps/tsp.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <cmath>
+#include <thread>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/virtual_clock.hpp"
+
+namespace omsp::apps::tsp {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max() / 4;
+
+struct Distances {
+  int n;
+  int d[kMaxCities][kMaxCities];
+  int min_out[kMaxCities]; // cheapest edge leaving each city (for bounds)
+};
+
+Distances make_distances(const Params& p) {
+  OMSP_CHECK(p.cities >= 3 && p.cities <= kMaxCities);
+  Distances dist;
+  dist.n = p.cities;
+  Rng rng(p.seed);
+  // Random points on a grid; Euclidean-ish metric keeps bounds meaningful.
+  int x[kMaxCities], y[kMaxCities];
+  for (int i = 0; i < p.cities; ++i) {
+    x[i] = static_cast<int>(rng.next_below(1000));
+    y[i] = static_cast<int>(rng.next_below(1000));
+  }
+  for (int i = 0; i < p.cities; ++i)
+    for (int j = 0; j < p.cities; ++j) {
+      const double dx = x[i] - x[j], dy = y[i] - y[j];
+      dist.d[i][j] = static_cast<int>(std::sqrt(dx * dx + dy * dy));
+    }
+  for (int i = 0; i < p.cities; ++i) {
+    dist.min_out[i] = kInf;
+    for (int j = 0; j < p.cities; ++j)
+      if (j != i) dist.min_out[i] = std::min(dist.min_out[i], dist.d[i][j]);
+  }
+  return dist;
+}
+
+// A partial tour (the paper's pool element).
+struct Tour {
+  std::int32_t length = 0; // cities in path
+  std::int32_t cost = 0;   // edge cost of the prefix
+  std::int32_t bound = 0;  // lower bound on any completion
+  std::uint32_t visited = 0;
+  std::int8_t path[kMaxCities] = {};
+};
+
+int lower_bound(const Distances& dist, const Tour& t) {
+  int b = t.cost;
+  for (int c = 0; c < dist.n; ++c)
+    if ((t.visited & (1u << c)) == 0) b += dist.min_out[c];
+  // The tour must also leave the current last city again.
+  if (t.length < dist.n) b += dist.min_out[t.path[t.length - 1]];
+  return b;
+}
+
+// Exhaustive DFS completion of a partial tour; returns the best full-tour
+// cost found (or `best` if nothing better). Prunes on the running best.
+int dfs_complete(const Distances& dist, Tour& t, int best) {
+  if (t.length == dist.n) {
+    const int total = t.cost + dist.d[t.path[t.length - 1]][t.path[0]];
+    return std::min(best, total);
+  }
+  const int last = t.path[t.length - 1];
+  for (int c = 0; c < dist.n; ++c) {
+    if (t.visited & (1u << c)) continue;
+    const int step = dist.d[last][c];
+    if (t.cost + step >= best) continue;
+    t.path[t.length++] = static_cast<std::int8_t>(c);
+    t.cost += step;
+    t.visited |= 1u << c;
+    best = dfs_complete(dist, t, best);
+    t.visited &= ~(1u << c);
+    t.cost -= step;
+    --t.length;
+  }
+  return best;
+}
+
+Tour root_tour() {
+  Tour t;
+  t.length = 1;
+  t.path[0] = 0;
+  t.visited = 1;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Shared branch-and-bound state: pool + priority queue + free stack + best.
+// In the OpenMP version this lives in the DSM heap and is mutated only inside
+// `critical`; the sequential version uses the same code on private memory.
+// ---------------------------------------------------------------------------
+struct SharedState {
+  static constexpr std::int32_t kPool = 8192;
+  std::int32_t best = kInf;
+  std::int32_t heap_size = 0;
+  std::int32_t free_top = 0;   // stack pointer into free_stack
+  std::int32_t outstanding = 0; // queued but not yet fully processed tours
+  std::int32_t heap[kPool];       // min-heap of pool indices, keyed by bound
+  std::int32_t free_stack[kPool]; // unused pool slots
+  Tour pool[kPool];
+
+  void init() {
+    best = kInf;
+    heap_size = 0;
+    outstanding = 0;
+    free_top = kPool;
+    for (std::int32_t i = 0; i < kPool; ++i) free_stack[i] = kPool - 1 - i;
+  }
+
+  bool heap_less(std::int32_t a, std::int32_t b) const {
+    return pool[a].bound < pool[b].bound;
+  }
+
+  // Push a tour; returns false when the pool is full (caller solves inline).
+  bool push(const Tour& t) {
+    if (free_top == 0) return false;
+    const std::int32_t slot = free_stack[--free_top];
+    pool[slot] = t;
+    std::int32_t i = heap_size++;
+    heap[i] = slot;
+    while (i > 0) {
+      const std::int32_t parent = (i - 1) / 2;
+      if (!heap_less(heap[i], heap[parent])) break;
+      std::swap(heap[i], heap[parent]);
+      i = parent;
+    }
+    ++outstanding;
+    return true;
+  }
+
+  // Pop the most promising tour into `out`; false when the queue is empty.
+  bool pop(Tour& out) {
+    if (heap_size == 0) return false;
+    const std::int32_t slot = heap[0];
+    out = pool[slot];
+    free_stack[free_top++] = slot;
+    heap[0] = heap[--heap_size];
+    std::int32_t i = 0;
+    for (;;) {
+      const std::int32_t l = 2 * i + 1, r = 2 * i + 2;
+      std::int32_t smallest = i;
+      if (l < heap_size && heap_less(heap[l], heap[smallest])) smallest = l;
+      if (r < heap_size && heap_less(heap[r], heap[smallest])) smallest = r;
+      if (smallest == i) break;
+      std::swap(heap[i], heap[smallest]);
+      i = smallest;
+    }
+    return true;
+  }
+};
+
+// One scheduling step against shared state under the provided mutual
+// exclusion primitive. Returns false when the computation is finished.
+// `locked` runs fn under the critical section.
+template <typename Locked>
+bool worker_step(const Distances& dist, const Params& p, SharedState* st,
+                 Locked&& locked) {
+  Tour t;
+  bool got = false;
+  bool done = false;
+  int best_now = kInf;
+  locked([&] {
+    got = st->pop(t);
+    if (!got) done = (st->outstanding == 0);
+    best_now = st->best;
+  });
+  if (!got) {
+    if (done) return false;
+    // Idle back-off: a worker that found the queue empty waits before
+    // re-polling instead of hammering the critical section (real TreadMarks
+    // workers block on the lock; unthrottled polling would inflate the
+    // message counts Table 2 reports by an order of magnitude).
+    if (auto* clock = sim::VirtualClock::current(); clock != nullptr)
+      clock->charge(200.0); // 200us virtual poll interval
+    std::this_thread::yield();
+    return true;
+  }
+
+  if (t.bound >= best_now) {
+    // Pruned. Account the completed unit of work.
+    locked([&] { --st->outstanding; });
+    return true;
+  }
+
+  if (dist.n - t.length <= p.solve_threshold) {
+    const int found = dfs_complete(dist, t, best_now);
+    locked([&] {
+      if (found < st->best) st->best = found;
+      --st->outstanding;
+    });
+    return true;
+  }
+
+  // Expand by one city; push children (solve inline if the pool is full).
+  const int last = t.path[t.length - 1];
+  std::vector<Tour> children;
+  std::vector<Tour> overflow;
+  for (int c = 0; c < dist.n; ++c) {
+    if (t.visited & (1u << c)) continue;
+    Tour child = t;
+    child.path[child.length++] = static_cast<std::int8_t>(c);
+    child.cost += dist.d[last][c];
+    child.visited |= 1u << c;
+    child.bound = lower_bound(dist, child);
+    if (child.bound < best_now) children.push_back(child);
+  }
+  int solved_best = kInf;
+  locked([&] {
+    for (const Tour& child : children) {
+      if (child.bound >= st->best) continue;
+      if (!st->push(child)) overflow.push_back(child);
+    }
+    --st->outstanding;
+  });
+  for (Tour& child : overflow)
+    solved_best = std::min(solved_best, dfs_complete(dist, child, solved_best));
+  if (solved_best < kInf) {
+    locked([&] {
+      if (solved_best < st->best) st->best = solved_best;
+    });
+  }
+  return true;
+}
+
+} // namespace
+
+int brute_force_optimum(const Params& p) {
+  const Distances dist = make_distances(p);
+  Tour t = root_tour();
+  return dfs_complete(dist, t, kInf);
+}
+
+Result run_seq(const Params& p, double cpu_scale) {
+  return run_sequential(cpu_scale, [&] {
+    const Distances dist = make_distances(p);
+    auto st = std::make_unique<SharedState>();
+    st->init();
+    Tour root = root_tour();
+    root.bound = lower_bound(dist, root);
+    st->push(root);
+    auto locked = [](auto&& fn) { fn(); };
+    while (worker_step(dist, p, st.get(), locked)) {
+    }
+    return static_cast<double>(st->best);
+  });
+}
+
+Result run_omp(const Params& p, const tmk::Config& cfg_in) {
+  tmk::Config cfg = cfg_in;
+  cfg.heap_bytes = std::max<std::size_t>(cfg.heap_bytes,
+                                         sizeof(SharedState) + (1u << 20));
+  core::OmpRuntime rt(cfg);
+  const Distances dist = make_distances(p);
+
+  auto st = rt.alloc_page_aligned<SharedState>(1);
+  st->init();
+  Tour root = root_tour();
+  root.bound = lower_bound(dist, root);
+  st->push(root);
+
+  return run_openmp(rt, [&] {
+    // #pragma omp parallel — workers drain the shared queue under critical.
+    rt.parallel([&](core::Team& t) {
+      SharedState* s = st.local();
+      auto locked = [&](auto&& fn) { t.critical("tsp", fn); };
+      while (worker_step(dist, p, s, locked)) {
+      }
+    });
+    return static_cast<double>(st->best);
+  });
+}
+
+Result run_mpi(const Params& p, const sim::Topology& topo,
+               const sim::CostModel& cost) {
+  mpi::MpiWorld world(topo, cost);
+  const Distances dist = make_distances(p);
+  Result result;
+  double checksum = 0;
+
+  // Master-worker: rank 0 expands the root a few levels breadth-first and
+  // hands partial tours to workers on request; work replies carry the
+  // current global best for pruning, completion messages carry improved
+  // bests back.
+  constexpr int kTagReq = 1, kTagWork = 2, kTagDone = 3;
+
+  world.run([&](mpi::Comm& c) {
+    if (c.rank() == 0) {
+      // Breadth-first expansion to a fixed frontier depth.
+      std::vector<Tour> frontier;
+      {
+        Tour root = root_tour();
+        root.bound = lower_bound(dist, root);
+        std::vector<Tour> cur{root};
+        // Master-worker grain: expand one level past the solve threshold so
+        // there are enough work units to balance the workers even when many
+        // subtrees prune instantly.
+        const int depth = std::max(2, dist.n - p.solve_threshold + 1);
+        for (int level = 0; level < depth; ++level) {
+          std::vector<Tour> next;
+          for (const Tour& t : cur) {
+            const int last = t.path[t.length - 1];
+            for (int city = 0; city < dist.n; ++city) {
+              if (t.visited & (1u << city)) continue;
+              Tour child = t;
+              child.path[child.length++] = static_cast<std::int8_t>(city);
+              child.cost += dist.d[last][city];
+              child.visited |= 1u << city;
+              child.bound = lower_bound(dist, child);
+              next.push_back(child);
+            }
+          }
+          cur = std::move(next);
+        }
+        frontier = std::move(cur);
+        std::sort(frontier.begin(), frontier.end(),
+                  [](const Tour& a, const Tour& b) { return a.bound < b.bound; });
+      }
+
+      int best = kInf;
+      std::size_t cursor = 0;
+      int active_workers = c.size() - 1;
+      while (active_workers > 0) {
+        // Request payload: the worker's best-known tour (may improve ours).
+        int worker_best = kInf;
+        int src = -1;
+        c.recv(mpi::kAnySource, kTagReq, &worker_best, sizeof(int), &src);
+        best = std::min(best, worker_best);
+        // Skip frontier entries the bound already kills.
+        while (cursor < frontier.size() && frontier[cursor].bound >= best)
+          ++cursor;
+        if (cursor < frontier.size()) {
+          struct {
+            int best;
+            Tour tour;
+          } work{best, frontier[cursor++]};
+          c.send(src, kTagWork, &work, sizeof(work));
+        } else {
+          c.send(src, kTagDone, &best, sizeof(int));
+          --active_workers;
+        }
+      }
+      checksum = static_cast<double>(best);
+    } else {
+      int my_best = kInf;
+      for (;;) {
+        c.send(0, kTagReq, &my_best, sizeof(int));
+        struct {
+          int best;
+          Tour tour;
+        } work;
+        int tag_probe_best = 0;
+        // Either work or done can arrive; distinguish by tag.
+        int src = -1;
+        std::uint8_t buf[sizeof(work)];
+        // Receive whichever message the master sent us next.
+        const std::size_t got =
+            c.recv(0, mpi::kAnyTag, buf, sizeof(buf), &src);
+        if (got == sizeof(int)) { // kTagDone
+          std::memcpy(&tag_probe_best, buf, sizeof(int));
+          break;
+        }
+        std::memcpy(&work, buf, sizeof(work));
+        my_best = std::min(my_best, work.best);
+        if (work.tour.bound < my_best)
+          my_best = std::min(my_best,
+                             dfs_complete(dist, work.tour, my_best));
+      }
+    }
+  });
+
+  result.checksum = checksum;
+  result.time_us = world.makespan_us();
+  result.stats = world.stats();
+  return result;
+}
+
+} // namespace omsp::apps::tsp

@@ -1,0 +1,36 @@
+// Traveling Salesman by branch-and-bound (§5.2 "TSP").
+//
+// The paper's major data structures: a pool of partially evaluated tours, a
+// priority queue of pointers into the pool ordered by lower bound, a free
+// stack of unused pool slots, and the current shortest tour. A thread
+// repeatedly dequeues the most promising partial tour and either extends it
+// by one city (enqueueing the children) or, when few cities remain, solves
+// the remainder exhaustively. All queue operations are guarded by the
+// OpenMP `critical` directive; the result (the optimal tour length) is
+// deterministic regardless of interleaving.
+#pragma once
+
+#include "apps/common.hpp"
+
+namespace omsp::apps::tsp {
+
+inline constexpr int kMaxCities = 20;
+
+struct Params {
+  int cities = 12;
+  std::uint64_t seed = 42; // distance matrix generator
+  // Partial tours with at most this many cities left are solved exhaustively
+  // (the paper's "-r" recursion threshold).
+  int solve_threshold = 8;
+};
+
+Result run_seq(const Params& p, double cpu_scale);
+Result run_omp(const Params& p, const tmk::Config& cfg);
+Result run_mpi(const Params& p, const sim::Topology& topo,
+               const sim::CostModel& cost);
+
+// The deterministic optimum for the given parameters, computed by plain
+// exhaustive DFS; tests compare all versions against it.
+int brute_force_optimum(const Params& p);
+
+} // namespace omsp::apps::tsp

@@ -1,0 +1,238 @@
+#include "apps/water.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+
+namespace omsp::apps::water {
+
+namespace {
+
+// Structure-of-arrays layout: pos[3][n], vel[3][n], force[3][n]. SoA keeps
+// the DSM pages a thread writes during the update phase contiguous, like the
+// original benchmark's molecule blocks.
+struct View {
+  double* pos[3];
+  double* vel[3];
+  double* force[3];
+  std::int64_t n;
+};
+
+void init_system(const View& v, const Params& p) {
+  Rng rng(p.seed);
+  for (std::int64_t i = 0; i < v.n; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      v.pos[d][i] = rng.next_double();
+      v.vel[d][i] = 0.05 * rng.next_double(-1.0, 1.0);
+      v.force[d][i] = 0.0;
+    }
+  }
+}
+
+// Intra-molecular potential: a stiff harmonic term pulling each molecule
+// toward its lattice site (stands in for SPLASH-2's bond/angle terms; same
+// access pattern: reads and writes only molecule i).
+inline void intra_force(const View& v, std::int64_t i) {
+  const double site = 0.5;
+  for (int d = 0; d < 3; ++d)
+    v.force[d][i] = -4.0 * (v.pos[d][i] - site);
+}
+
+// Inter-molecular pair force between i and j, accumulated into `acc`
+// (length 3*n, layout [d*n + i]).
+inline void pair_force(const View& v, std::int64_t i, std::int64_t j,
+                       double cutoff2, double* acc) {
+  double dx[3];
+  double r2 = 0;
+  for (int d = 0; d < 3; ++d) {
+    dx[d] = v.pos[d][i] - v.pos[d][j];
+    r2 += dx[d] * dx[d];
+  }
+  if (r2 >= cutoff2 || r2 < 1e-12) return;
+  // Soft repulsive potential: f = k * (cutoff2 - r2) in the pair direction.
+  const double k = 2.0 * (cutoff2 - r2);
+  for (int d = 0; d < 3; ++d) {
+    acc[d * v.n + i] += k * dx[d];
+    acc[d * v.n + j] -= k * dx[d];
+  }
+}
+
+// Pairs are split by the owner of the first index: thread t handles pairs
+// (i, j) with i in its block, j > i — the SPLASH-2 half-matrix split.
+void pair_phase(const View& v, std::int64_t i_begin, std::int64_t i_end,
+                double cutoff2, double* acc) {
+  for (std::int64_t i = i_begin; i < i_end; ++i)
+    for (std::int64_t j = i + 1; j < v.n; ++j)
+      pair_force(v, i, j, cutoff2, acc);
+}
+
+inline void integrate(const View& v, std::int64_t i, double dt) {
+  for (int d = 0; d < 3; ++d) {
+    v.vel[d][i] += dt * v.force[d][i];
+    v.pos[d][i] += dt * v.vel[d][i];
+    // Reflecting walls keep the system in the unit box.
+    if (v.pos[d][i] < 0) {
+      v.pos[d][i] = -v.pos[d][i];
+      v.vel[d][i] = -v.vel[d][i];
+    } else if (v.pos[d][i] > 1) {
+      v.pos[d][i] = 2 - v.pos[d][i];
+      v.vel[d][i] = -v.vel[d][i];
+    }
+  }
+}
+
+double checksum(const View& v) {
+  double s = 0;
+  for (int d = 0; d < 3; ++d)
+    for (std::int64_t i = 0; i < v.n; ++i) s += v.pos[d][i];
+  return s;
+}
+
+} // namespace
+
+Result run_seq(const Params& p, double cpu_scale) {
+  return run_sequential(cpu_scale, [&] {
+    const std::int64_t n = p.molecules;
+    std::vector<double> storage(9 * n);
+    View v{{&storage[0], &storage[n], &storage[2 * n]},
+           {&storage[3 * n], &storage[4 * n], &storage[5 * n]},
+           {&storage[6 * n], &storage[7 * n], &storage[8 * n]},
+           n};
+    init_system(v, p);
+    const double cutoff2 = p.cutoff * p.cutoff;
+    std::vector<double> acc(3 * n);
+    for (int step = 0; step < p.steps; ++step) {
+      for (std::int64_t i = 0; i < n; ++i) intra_force(v, i);
+      std::fill(acc.begin(), acc.end(), 0.0);
+      pair_phase(v, 0, n, cutoff2, acc.data());
+      for (int d = 0; d < 3; ++d)
+        for (std::int64_t i = 0; i < n; ++i) v.force[d][i] += acc[d * n + i];
+      for (std::int64_t i = 0; i < n; ++i) integrate(v, i, p.dt);
+    }
+    return checksum(v);
+  });
+}
+
+Result run_omp(const Params& p, const tmk::Config& cfg_in) {
+  const std::int64_t n = p.molecules;
+  tmk::Config cfg = cfg_in;
+  cfg.heap_bytes = std::max<std::size_t>(
+      cfg.heap_bytes, 16 * static_cast<std::size_t>(n) * sizeof(double) +
+                          (2u << 20));
+  core::OmpRuntime rt(cfg);
+
+  auto storage = rt.alloc_page_aligned<double>(9 * n);
+  auto inter = rt.alloc_page_aligned<double>(3 * n); // reduction target
+  View v{{storage.local(), storage.local() + n, storage.local() + 2 * n},
+         {storage.local() + 3 * n, storage.local() + 4 * n,
+          storage.local() + 5 * n},
+         {storage.local() + 6 * n, storage.local() + 7 * n,
+          storage.local() + 8 * n},
+         n};
+  init_system(v, p);
+  const double cutoff2 = p.cutoff * p.cutoff;
+
+  return run_openmp(rt, [&] {
+    for (int step = 0; step < p.steps; ++step) {
+      // #pragma omp parallel — one region per step (paper: for + region).
+      rt.parallel([&](core::Team& t) {
+        // View resolved in this thread's context.
+        View lv{{storage.local(), storage.local() + n,
+                 storage.local() + 2 * n},
+                {storage.local() + 3 * n, storage.local() + 4 * n,
+                 storage.local() + 5 * n},
+                {storage.local() + 6 * n, storage.local() + 7 * n,
+                 storage.local() + 8 * n},
+                n};
+        // Intra-molecular: parallel for, no interactions.
+        t.for_loop(0, n, core::Schedule::static_block(),
+                   [&](std::int64_t i) { intra_force(lv, i); });
+        // Inter-molecular: private accumulation + array reduction (§5.2).
+        std::vector<double> acc(3 * n, 0.0);
+        const auto range = block_partition(static_cast<std::uint64_t>(n),
+                                           t.num_threads(), t.thread_num());
+        pair_phase(lv, static_cast<std::int64_t>(range.begin),
+                   static_cast<std::int64_t>(range.end), cutoff2, acc.data());
+        t.reduce_array(acc.data(), inter, 3 * n, std::plus<double>{});
+        // Combine and integrate own block.
+        t.for_loop(0, n, core::Schedule::static_block(), [&](std::int64_t i) {
+          for (int d = 0; d < 3; ++d)
+            lv.force[d][i] += inter[d * n + i];
+          integrate(lv, i, p.dt);
+        });
+      });
+    }
+    return checksum(v);
+  });
+}
+
+Result run_mpi(const Params& p, const sim::Topology& topo,
+               const sim::CostModel& cost) {
+  mpi::MpiWorld world(topo, cost);
+  const std::int64_t n = p.molecules;
+  Result result;
+  double sum = 0;
+
+  world.run([&](mpi::Comm& c) {
+    const int np = c.size();
+    const auto range =
+        block_partition(static_cast<std::uint64_t>(n), np, c.rank());
+    const std::int64_t lo = static_cast<std::int64_t>(range.begin);
+    const std::int64_t hi = static_cast<std::int64_t>(range.end);
+
+    std::vector<double> storage(9 * n);
+    View v{{&storage[0], &storage[n], &storage[2 * n]},
+           {&storage[3 * n], &storage[4 * n], &storage[5 * n]},
+           {&storage[6 * n], &storage[7 * n], &storage[8 * n]},
+           n};
+    init_system(v, p); // replicated init: consistent across ranks
+    const double cutoff2 = p.cutoff * p.cutoff;
+    std::vector<double> acc(3 * n);
+
+    // Per-rank block sizes for position allgather (variable-size blocks are
+    // exchanged as fixed max-size slots for simplicity).
+    const std::int64_t max_block =
+        static_cast<std::int64_t>(ceil_div(static_cast<std::uint64_t>(n), np));
+    std::vector<double> slot(3 * max_block), all(3 * max_block * np);
+
+    for (int step = 0; step < p.steps; ++step) {
+      for (std::int64_t i = lo; i < hi; ++i) intra_force(v, i);
+      std::fill(acc.begin(), acc.end(), 0.0);
+      pair_phase(v, lo, hi, cutoff2, acc.data());
+      c.allreduce(acc.data(), acc.size(), std::plus<double>{});
+      for (int d = 0; d < 3; ++d)
+        for (std::int64_t i = lo; i < hi; ++i)
+          v.force[d][i] += acc[d * n + i];
+      for (std::int64_t i = lo; i < hi; ++i) integrate(v, i, p.dt);
+
+      // Exchange updated positions of own block with everyone.
+      std::fill(slot.begin(), slot.end(), 0.0);
+      for (int d = 0; d < 3; ++d)
+        for (std::int64_t i = lo; i < hi; ++i)
+          slot[d * max_block + (i - lo)] = v.pos[d][i];
+      c.allgather(slot.data(), all.data(), 3 * max_block);
+      for (int r = 0; r < np; ++r) {
+        const auto rr = block_partition(static_cast<std::uint64_t>(n), np, r);
+        const double* rslot = all.data() + 3 * max_block * r;
+        for (int d = 0; d < 3; ++d)
+          for (std::uint64_t i = rr.begin; i < rr.end; ++i)
+            v.pos[d][i] = rslot[d * max_block + (i - rr.begin)];
+      }
+    }
+
+    double part = 0;
+    for (int d = 0; d < 3; ++d)
+      for (std::int64_t i = lo; i < hi; ++i) part += v.pos[d][i];
+    c.reduce(0, &part, 1, std::plus<double>{});
+    if (c.rank() == 0) sum = part;
+  });
+
+  result.checksum = sum;
+  result.time_us = world.makespan_us();
+  result.stats = world.stats();
+  return result;
+}
+
+} // namespace omsp::apps::water

@@ -1,0 +1,29 @@
+// Water — molecular dynamics in the style of SPLASH-2 Water-Nsquared
+// (§5.2 "Water").
+//
+// Each time step computes intra-molecular potentials (independent per
+// molecule, `parallel for`) and inter-molecular pair forces over the half
+// O(n^2) interaction matrix (`parallel region`). Per the paper, each thread
+// accumulates inter-molecular forces into *private* memory during the pair
+// computation and only synchronizes afterwards to perform a reduction —
+// exercising the array-reduction extension of the translator.
+#pragma once
+
+#include "apps/common.hpp"
+
+namespace omsp::apps::water {
+
+struct Params {
+  std::int64_t molecules = 256;
+  int steps = 3;
+  double dt = 1e-3;
+  double cutoff = 0.45;   // interaction cutoff (box is the unit cube)
+  std::uint64_t seed = 11;
+};
+
+Result run_seq(const Params& p, double cpu_scale);
+Result run_omp(const Params& p, const tmk::Config& cfg);
+Result run_mpi(const Params& p, const sim::Topology& topo,
+               const sim::CostModel& cost);
+
+} // namespace omsp::apps::water

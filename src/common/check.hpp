@@ -1,0 +1,36 @@
+// Invariant checking. OMSP_CHECK is always on (the runtime is a memory
+// consistency protocol: silent corruption is far worse than an abort);
+// OMSP_DCHECK compiles out in NDEBUG builds for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace omsp::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "OMSP_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+} // namespace omsp::detail
+
+#define OMSP_CHECK(expr)                                                      \
+  do {                                                                        \
+    if (!(expr)) [[unlikely]]                                                 \
+      ::omsp::detail::check_failed(#expr, __FILE__, __LINE__, "");            \
+  } while (0)
+
+#define OMSP_CHECK_MSG(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr)) [[unlikely]]                                                 \
+      ::omsp::detail::check_failed(#expr, __FILE__, __LINE__, (msg));         \
+  } while (0)
+
+#ifdef NDEBUG
+#define OMSP_DCHECK(expr) ((void)0)
+#else
+#define OMSP_DCHECK(expr) OMSP_CHECK(expr)
+#endif

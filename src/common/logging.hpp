@@ -1,0 +1,58 @@
+// Minimal leveled logger. Protocol code logs at kTrace/kDebug; those levels
+// are off by default so the fault handler stays cheap. The sink is a plain
+// FILE* write, which keeps logging usable from SIGSEGV context in practice
+// (we only enable it while debugging).
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace omsp {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_.store(static_cast<int>(level)); }
+  LogLevel level() const { return static_cast<LogLevel>(level_.load()); }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  void logf(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4))) {
+    if (!enabled(level)) return;
+    static const char* names[] = {"TRACE", "DEBUG", "INFO",
+                                  "WARN",  "ERROR", "OFF"};
+    std::fprintf(stderr, "[omsp %s] ", names[static_cast<int>(level)]);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+  }
+
+private:
+  Logger() = default;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+};
+
+} // namespace omsp
+
+#define OMSP_LOG(level, ...)                                                  \
+  do {                                                                        \
+    if (::omsp::Logger::instance().enabled(level)) [[unlikely]]               \
+      ::omsp::Logger::instance().logf(level, __VA_ARGS__);                    \
+  } while (0)
+
+#define OMSP_TRACE(...) OMSP_LOG(::omsp::LogLevel::kTrace, __VA_ARGS__)
+#define OMSP_DEBUG(...) OMSP_LOG(::omsp::LogLevel::kDebug, __VA_ARGS__)
+#define OMSP_INFO(...) OMSP_LOG(::omsp::LogLevel::kInfo, __VA_ARGS__)
+#define OMSP_WARN(...) OMSP_LOG(::omsp::LogLevel::kWarn, __VA_ARGS__)
+#define OMSP_ERROR(...) OMSP_LOG(::omsp::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,40 @@
+// Small arithmetic helpers used across the runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace omsp {
+
+constexpr std::uint64_t round_up(std::uint64_t x, std::uint64_t align) {
+  return (x + align - 1) / align * align;
+}
+
+constexpr std::uint64_t round_down(std::uint64_t x, std::uint64_t align) {
+  return x / align * align;
+}
+
+constexpr bool is_pow2(std::uint64_t x) { return x && (x & (x - 1)) == 0; }
+
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Block decomposition: the contiguous [begin, end) slice of n items that
+// worker `who` of `nworkers` owns (earlier workers get the remainder).
+struct BlockRange {
+  std::uint64_t begin;
+  std::uint64_t end;
+};
+
+constexpr BlockRange block_partition(std::uint64_t n, std::uint32_t nworkers,
+                                     std::uint32_t who) {
+  const std::uint64_t base = n / nworkers;
+  const std::uint64_t rem = n % nworkers;
+  const std::uint64_t begin =
+      static_cast<std::uint64_t>(who) * base + (who < rem ? who : rem);
+  const std::uint64_t len = base + (who < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+} // namespace omsp

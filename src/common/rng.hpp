@@ -1,0 +1,70 @@
+// Deterministic pseudo-random generators for workload construction and
+// property tests. We avoid std::mt19937's size and seed-sensitivity: apps and
+// tests need cheap, reproducible streams that can be split per worker.
+#pragma once
+
+#include <cstdint>
+
+namespace omsp {
+
+// SplitMix64 — used to seed and to derive per-worker streams.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** — the main generator.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x6d73704f'70656eULL) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Bias is negligible for bound << 2^64.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound ? next_u64() % bound : 0;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64()); }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+  // Derive an independent stream for worker `index`.
+  Rng split(std::uint64_t index) const {
+    std::uint64_t sm = s_[0] ^ (index * 0x9e3779b97f4a7c15ULL + 0x1234567);
+    return Rng(splitmix64(sm));
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+} // namespace omsp

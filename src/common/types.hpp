@@ -1,0 +1,32 @@
+// Fundamental identifier and size types shared across the OMSP libraries.
+//
+// Conventions:
+//  * A "context" is one DSM address space: one per node in thread mode, one
+//    per processor in process mode.
+//  * A "rank" identifies an OpenMP/MPI worker globally in [0, nprocs).
+//  * Global shared-heap addresses are byte offsets from the heap base so they
+//    are meaningful in every context regardless of where its copy is mapped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace omsp {
+
+using NodeId = std::uint32_t;     // physical SMP node index
+using ProcId = std::uint32_t;     // processor index within a node
+using Rank = std::uint32_t;       // global worker index
+using ContextId = std::uint32_t;  // DSM address-space index
+using PageId = std::uint32_t;     // page index within the shared heap
+using LockId = std::uint32_t;     // TreadMarks lock identifier
+using GlobalAddr = std::uint64_t; // byte offset into the shared heap
+
+inline constexpr ContextId kInvalidContext = ~ContextId{0};
+inline constexpr PageId kInvalidPage = ~PageId{0};
+inline constexpr GlobalAddr kNullGlobalAddr = ~GlobalAddr{0};
+
+// Interval sequence number local to a creating context. Interval 0 is the
+// implicit initial interval (all-zero heap) that every context knows.
+using IntervalSeq = std::uint32_t;
+
+} // namespace omsp

@@ -1,0 +1,71 @@
+// The OpenMP run-time library functions (OpenMP C/C++ 1.0 §3), bound to the
+// calling thread's current team. Names carry the omsp_ prefix to avoid
+// colliding with a host OpenMP runtime; the translator emits these.
+#pragma once
+
+#include <cstdint>
+
+#include "core/runtime.hpp"
+
+namespace omsp::core {
+
+// --- execution environment ---------------------------------------------------
+inline int omp_get_thread_num() {
+  Team* t = OmpRuntime::current_team();
+  return t != nullptr ? static_cast<int>(t->thread_num()) : 0;
+}
+
+inline int omp_get_num_threads() {
+  Team* t = OmpRuntime::current_team();
+  return t != nullptr ? static_cast<int>(t->num_threads()) : 1;
+}
+
+inline int omp_in_parallel() {
+  return OmpRuntime::current_team() != nullptr ? 1 : 0;
+}
+
+inline int omp_get_max_threads(OmpRuntime& rt) {
+  return static_cast<int>(rt.max_threads());
+}
+
+inline int omp_get_num_procs(OmpRuntime& rt) {
+  return static_cast<int>(rt.dsm().config().topology.nprocs());
+}
+
+// --- timing -------------------------------------------------------------------
+inline double omp_get_wtime(OmpRuntime& rt) { return rt.wtime(); }
+// Resolution of the virtual clock: one microsecond.
+inline double omp_get_wtick() { return 1e-6; }
+
+// --- lock routines -------------------------------------------------------------
+// omp_lock_t maps onto a TreadMarks lock. Lock ids are drawn from a range
+// disjoint from critical sections and internal locks.
+struct omp_lock_t {
+  LockId id = 0;
+  bool initialized = false;
+};
+
+inline constexpr LockId kFirstOmpLockId = 0x20000000;
+
+class OmpLockAllocator {
+public:
+  explicit OmpLockAllocator(OmpRuntime& rt) : rt_(rt) {}
+
+  void init(omp_lock_t* lock) {
+    lock->id = next_.fetch_add(1);
+    lock->initialized = true;
+  }
+  void destroy(omp_lock_t* lock) { lock->initialized = false; }
+  void set(omp_lock_t* lock) {
+    rt_.dsm().lock_acquire(lock->id);
+  }
+  void unset(omp_lock_t* lock) { rt_.dsm().lock_release(lock->id); }
+  // omp_test_lock: acquire if free, never block.
+  bool test(omp_lock_t* lock) { return rt_.dsm().lock_try_acquire(lock->id); }
+
+private:
+  OmpRuntime& rt_;
+  std::atomic<LockId> next_{kFirstOmpLockId};
+};
+
+} // namespace omsp::core

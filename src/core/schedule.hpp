@@ -1,0 +1,69 @@
+// OpenMP 1.0 loop schedules (the `schedule` clause of the `for` directive).
+//
+// chunk_for(...) enumerates the chunks a given team member executes; it is a
+// pure function of (schedule, bounds, team), so static and static-chunked
+// schedules cost nothing at run time. Dynamic and guided schedules draw
+// chunks from a shared counter (see Team::for_loop) the way TreadMarks-based
+// OpenMP must: through synchronized shared state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/check.hpp"
+#include "common/mathutil.hpp"
+
+namespace omsp::core {
+
+enum class ScheduleKind { kStatic, kDynamic, kGuided };
+
+struct Schedule {
+  ScheduleKind kind = ScheduleKind::kStatic;
+  std::int64_t chunk = 0; // 0 = default (static: block; dynamic/guided: 1)
+
+  static Schedule static_block() { return {ScheduleKind::kStatic, 0}; }
+  static Schedule static_chunked(std::int64_t chunk) {
+    return {ScheduleKind::kStatic, chunk};
+  }
+  static Schedule dynamic(std::int64_t chunk = 1) {
+    return {ScheduleKind::kDynamic, chunk};
+  }
+  static Schedule guided(std::int64_t chunk = 1) {
+    return {ScheduleKind::kGuided, chunk};
+  }
+};
+
+// Enumerate the [begin,end) chunks thread `tid` of `nthreads` executes for a
+// *static* schedule over [lo, hi). Chunks are visited in ascending order.
+template <typename Fn>
+void static_chunks(std::int64_t lo, std::int64_t hi, std::int64_t chunk,
+                   std::uint32_t tid, std::uint32_t nthreads, Fn&& fn) {
+  OMSP_CHECK(nthreads > 0);
+  const std::int64_t n = hi - lo;
+  if (n <= 0) return;
+  if (chunk <= 0) {
+    // Default static: one contiguous block per thread.
+    const auto range = block_partition(static_cast<std::uint64_t>(n), nthreads,
+                                       tid);
+    if (range.begin < range.end)
+      fn(lo + static_cast<std::int64_t>(range.begin),
+         lo + static_cast<std::int64_t>(range.end));
+    return;
+  }
+  // static,chunk: chunks dealt round-robin starting at thread 0.
+  for (std::int64_t start = lo + static_cast<std::int64_t>(tid) * chunk;
+       start < hi; start += chunk * nthreads) {
+    fn(start, start + chunk < hi ? start + chunk : hi);
+  }
+}
+
+// Next chunk size for a guided schedule: remaining / nthreads, at least
+// min_chunk (OpenMP 1.0 semantics).
+inline std::int64_t guided_next_chunk(std::int64_t remaining,
+                                      std::uint32_t nthreads,
+                                      std::int64_t min_chunk) {
+  const std::int64_t c = remaining / nthreads;
+  return c > min_chunk ? c : min_chunk;
+}
+
+} // namespace omsp::core

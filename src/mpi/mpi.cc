@@ -1,0 +1,185 @@
+#include "mpi/mpi.hpp"
+
+#include <algorithm>
+
+namespace omsp::mpi {
+
+MpiWorld::MpiWorld(sim::Topology topo, sim::CostModel cost) : topo_(topo) {
+  std::vector<NodeId> rank_node(topo.nprocs());
+  for (Rank r = 0; r < topo.nprocs(); ++r) rank_node[r] = topo.node_of_rank(r);
+  router_ = std::make_unique<net::Router>(std::move(rank_node), cost);
+  mailboxes_.resize(topo.nprocs());
+  for (auto& m : mailboxes_) m = std::make_unique<Mailbox>();
+}
+
+MpiWorld::~MpiWorld() = default;
+
+void MpiWorld::run(const std::function<void(Comm&)>& fn) {
+  const int p = size();
+  std::vector<double> final_times(p, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      sim::VirtualClock clock(router_->model().cpu_scale);
+      sim::VirtualClock::Binder bind(&clock);
+      Comm comm(*this, r, clock);
+      fn(comm);
+      clock.sync_cpu();
+      final_times[r] = clock.now_us();
+    });
+  }
+  for (auto& t : threads) t.join();
+  makespan_us_ = *std::max_element(final_times.begin(), final_times.end());
+  // Drop any stray messages so a world can be reused.
+  for (auto& m : mailboxes_) {
+    std::lock_guard<std::mutex> lk(m->mutex);
+    OMSP_CHECK_MSG(m->queue.empty(), "unreceived MPI messages at exit");
+  }
+}
+
+void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
+  OMSP_CHECK(dst >= 0 && dst < size());
+  clock_.sync_cpu();
+  const double cost = world_.router_->account_message(
+      static_cast<ContextId>(rank_), static_cast<ContextId>(dst), bytes);
+  MpiWorld::Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.payload.assign(static_cast<const std::uint8_t*>(data),
+                     static_cast<const std::uint8_t*>(data) + bytes);
+  msg.arrive_time_us = clock_.now_us() + cost;
+  auto& box = *world_.mailboxes_[dst];
+  {
+    std::lock_guard<std::mutex> lk(box.mutex);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+  clock_.skip_cpu();
+}
+
+std::size_t Comm::recv(int src, int tag, void* data, std::size_t bytes,
+                       int* out_src) {
+  clock_.sync_cpu();
+  auto& box = *world_.mailboxes_[rank_];
+  std::unique_lock<std::mutex> lk(box.mutex);
+  MpiWorld::Message msg;
+  for (;;) {
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [&](const MpiWorld::Message& m) {
+                             return (src == kAnySource || m.src == src) &&
+                                    (tag == kAnyTag || m.tag == tag);
+                           });
+    if (it != box.queue.end()) {
+      msg = std::move(*it);
+      box.queue.erase(it);
+      break;
+    }
+    box.cv.wait(lk);
+  }
+  lk.unlock();
+  OMSP_CHECK_MSG(msg.payload.size() <= bytes, "recv buffer too small");
+  std::memcpy(data, msg.payload.data(), msg.payload.size());
+  if (out_src != nullptr) *out_src = msg.src;
+  clock_.advance_to(msg.arrive_time_us);
+  clock_.skip_cpu();
+  return msg.payload.size();
+}
+
+void Comm::sendrecv(int dst, int send_tag, const void* send_data,
+                    std::size_t send_bytes, int src, int recv_tag,
+                    void* recv_data, std::size_t recv_bytes) {
+  // Eager sends cannot deadlock, so a simple send-then-recv suffices.
+  send(dst, send_tag, send_data, send_bytes);
+  recv(src, recv_tag, recv_data, recv_bytes);
+}
+
+void Comm::barrier() {
+  // Dissemination barrier: ceil(log2 p) rounds, one send+recv per round.
+  const int p = size();
+  char token = 0;
+  for (int round = 1; round < p; round <<= 1) {
+    const int dst = (rank_ + round) % p;
+    const int src = (rank_ - round % p + p) % p;
+    sendrecv(dst, kTagBarrier, &token, 1, src, kTagBarrier, &token, 1);
+  }
+}
+
+void Comm::bcast(int root, void* data, std::size_t bytes) {
+  // Binomial tree rooted at `root`; relative ranks linearize the tree.
+  const int p = size();
+  const int rel = (rank_ - root + p) % p;
+  // Receive from parent (highest set bit of rel).
+  if (rel != 0) {
+    int mask = 1;
+    while (mask * 2 <= rel) mask <<= 1;
+    const int parent = (rel - mask + root) % p;
+    recv(parent, kTagBcast, data, bytes);
+  }
+  // Forward to children.
+  int mask = 1;
+  while (mask <= rel) mask <<= 1;
+  for (; rel + mask < p; mask <<= 1) {
+    const int child = (rel + mask + root) % p;
+    send(child, kTagBcast, data, bytes);
+  }
+}
+
+void Comm::reduce_impl(
+    int root, void* inout, std::size_t n, std::size_t elem,
+    const std::function<void(void*, const void*, std::size_t)>& combine) {
+  const int p = size();
+  const int rel = (rank_ - root + p) % p;
+  const std::size_t bytes = n * elem;
+  std::vector<std::uint8_t> scratch(bytes);
+  // Binomial tree: gather partial results toward relative rank 0.
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((rel & mask) != 0) {
+      const int parent = (rel & ~mask) ;
+      send((parent + root) % p, kTagReduce, inout, bytes);
+      return;
+    }
+    if (rel + mask < p) {
+      recv((rel + mask + root) % p, kTagReduce, scratch.data(), bytes);
+      combine(inout, scratch.data(), n);
+    }
+  }
+}
+
+void Comm::gather_impl(int root, const void* send_buf, void* recv_buf,
+                       std::size_t block_bytes) {
+  // Binomial gather: each subtree owner accumulates a contiguous run of
+  // relative-rank blocks and ships it up in one message.
+  const int p = size();
+  const int rel = (rank_ - root + p) % p;
+  std::vector<std::uint8_t> agg(block_bytes * static_cast<std::size_t>(p));
+  std::memcpy(agg.data(), send_buf, block_bytes);
+  std::size_t have = 1; // blocks held: rel .. rel+have-1 (relative)
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((rel & mask) != 0) {
+      const int parent = (rel & ~mask);
+      send((parent + root) % p, kTagGather, agg.data(), have * block_bytes);
+      have = 0;
+      break;
+    }
+    if (rel + mask < p) {
+      const std::size_t child_blocks =
+          std::min<std::size_t>(mask, static_cast<std::size_t>(p - rel - mask));
+      recv((rel + mask + root) % p, kTagGather,
+           agg.data() + have * block_bytes, child_blocks * block_bytes);
+      have += child_blocks;
+    }
+  }
+  if (rel == 0) {
+    // Unrotate the relative layout into absolute rank order.
+    auto* out = static_cast<std::uint8_t*>(recv_buf);
+    for (int rr = 0; rr < p; ++rr) {
+      const int abs = (rr + root) % p;
+      std::memcpy(out + static_cast<std::size_t>(abs) * block_bytes,
+                  agg.data() + static_cast<std::size_t>(rr) * block_bytes,
+                  block_bytes);
+    }
+  }
+}
+
+} // namespace omsp::mpi

@@ -1,0 +1,130 @@
+// In-process interconnect between DSM contexts / MPI ranks.
+//
+// The paper's TreadMarks sends UDP messages between processes and services
+// them in SIGIO handlers. Here the whole cluster lives in one process, so a
+// "message" is: serialize the request, account and charge it on the sender's
+// counters/clock, run the destination's handler directly (the destination
+// object does its own locking), serialize the reply, account and charge it on
+// the destination's counters and the requester's clock. Message counts and
+// byte volumes — the Table 2 quantities — are therefore identical to what a
+// wire transport would record; only the executing thread differs.
+//
+// The router also classifies traffic as intra-node (shared-memory transport)
+// or inter-node (SP2 switch) from the context->node map, which drives both
+// the off-node counters and the cost model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/serialize.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/virtual_clock.hpp"
+
+namespace omsp::net {
+
+// Per-message fixed framing overhead (src, dst, type, length), counted into
+// byte totals the way TreadMarks counts its message headers.
+inline constexpr std::size_t kHeaderBytes = 16;
+
+// A context's inbound request dispatcher. Implementations must be safe to
+// call from any thread; they lock their own state.
+class MessageHandler {
+public:
+  virtual ~MessageHandler() = default;
+  virtual void handle(ContextId src, std::uint16_t type, ByteReader& request,
+                      ByteWriter& reply) = 0;
+};
+
+class Router {
+public:
+  // `context_node[c]` is the physical node hosting context c.
+  Router(std::vector<NodeId> context_node, sim::CostModel model)
+      : context_node_(std::move(context_node)), model_(model),
+        stats_(context_node_.size()) {
+    handlers_.resize(context_node_.size(), nullptr);
+    for (auto& s : stats_) s = std::make_unique<StatsBoard>();
+  }
+
+  std::size_t num_contexts() const { return context_node_.size(); }
+  NodeId node_of(ContextId c) const {
+    OMSP_DCHECK(c < context_node_.size());
+    return context_node_[c];
+  }
+  bool same_node(ContextId a, ContextId b) const {
+    return node_of(a) == node_of(b);
+  }
+
+  void bind_handler(ContextId c, MessageHandler* handler) {
+    OMSP_CHECK(c < handlers_.size());
+    handlers_[c] = handler;
+  }
+
+  StatsBoard& stats(ContextId c) {
+    OMSP_DCHECK(c < stats_.size());
+    return *stats_[c];
+  }
+
+  const sim::CostModel& model() const { return model_; }
+
+  // Aggregate counters over all contexts.
+  StatsSnapshot snapshot() const {
+    StatsSnapshot s;
+    for (const auto& b : stats_) b->accumulate(s.v);
+    return s;
+  }
+
+  void reset_stats() {
+    for (auto& b : stats_) b->reset();
+  }
+
+  // Account one one-way message of `payload_bytes` and return its modeled
+  // one-way cost in microseconds. Used directly by MPI and by notifications;
+  // request/reply traffic goes through call().
+  double account_message(ContextId src, ContextId dst,
+                         std::size_t payload_bytes) {
+    const bool same = same_node(src, dst);
+    const std::size_t bytes = payload_bytes + kHeaderBytes;
+    auto& board = *stats_[src];
+    board.add(Counter::kMsgsSent);
+    board.add(Counter::kBytesSent, bytes);
+    if (!same) {
+      board.add(Counter::kMsgsOffNode);
+      board.add(Counter::kBytesOffNode, bytes);
+    }
+    return model_.message_us(bytes, same);
+  }
+
+  // Request/reply round trip from `src` to `dst`. Charges the calling
+  // thread's virtual clock for both directions plus handler service time.
+  // Returns the reply payload.
+  std::vector<std::uint8_t> call(ContextId src, ContextId dst,
+                                 std::uint16_t type, const ByteWriter& request) {
+    OMSP_CHECK(dst < handlers_.size());
+    OMSP_CHECK_MSG(handlers_[dst] != nullptr, "destination has no handler");
+
+    auto* clock = sim::VirtualClock::current();
+    const double req_cost = account_message(src, dst, request.size());
+    if (clock != nullptr) clock->charge(req_cost + model_.handler_service_us);
+
+    ByteWriter reply;
+    ByteReader reader(request.bytes());
+    handlers_[dst]->handle(src, type, reader, reply);
+
+    const double reply_cost = account_message(dst, src, reply.size());
+    if (clock != nullptr) clock->charge(reply_cost);
+    return reply.take();
+  }
+
+private:
+  std::vector<NodeId> context_node_;
+  sim::CostModel model_;
+  std::vector<std::unique_ptr<StatsBoard>> stats_;
+  std::vector<MessageHandler*> handlers_;
+};
+
+} // namespace omsp::net

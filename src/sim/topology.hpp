@@ -1,0 +1,54 @@
+// Cluster topology: a network of SMP nodes, as in the paper's platform
+// (an IBM SP2 with 4 nodes x 4 PowerPC-604 processors).
+//
+// A global Rank in [0, nprocs()) identifies one OpenMP/MPI worker. Ranks are
+// laid out node-major: rank r runs on node r / procs_per_node, local
+// processor r % procs_per_node. This matches the paper's placement (block of
+// consecutive ranks per node), which matters for SOR's observation that
+// neighbouring ranks usually share a node.
+#pragma once
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace omsp::sim {
+
+class Topology {
+public:
+  Topology(std::uint32_t nodes, std::uint32_t procs_per_node)
+      : nodes_(nodes), procs_per_node_(procs_per_node) {
+    OMSP_CHECK(nodes >= 1 && procs_per_node >= 1);
+  }
+
+  // The paper's evaluation platform.
+  static Topology sp2() { return Topology(4, 4); }
+
+  std::uint32_t nodes() const { return nodes_; }
+  std::uint32_t procs_per_node() const { return procs_per_node_; }
+  std::uint32_t nprocs() const { return nodes_ * procs_per_node_; }
+
+  NodeId node_of_rank(Rank r) const {
+    OMSP_DCHECK(r < nprocs());
+    return r / procs_per_node_;
+  }
+  ProcId proc_of_rank(Rank r) const {
+    OMSP_DCHECK(r < nprocs());
+    return r % procs_per_node_;
+  }
+  Rank rank_of(NodeId n, ProcId p) const {
+    OMSP_DCHECK(n < nodes_ && p < procs_per_node_);
+    return n * procs_per_node_ + p;
+  }
+
+  bool same_node(Rank a, Rank b) const {
+    return node_of_rank(a) == node_of_rank(b);
+  }
+
+  bool operator==(const Topology&) const = default;
+
+private:
+  std::uint32_t nodes_;
+  std::uint32_t procs_per_node_;
+};
+
+} // namespace omsp::sim

@@ -1,0 +1,90 @@
+// Configuration for a TreadMarks DSM instance.
+//
+// The two execution modes reproduce the paper's two systems:
+//   * kThread  — the paper's contribution ("OpenMP/thread"): one DSM context
+//     (address space) per SMP node, POSIX threads inside it, alias mapping of
+//     the shared heap, per-page fault mutex.
+//   * kProcess — the baseline ("OpenMP/original"): one DSM context per
+//     processor; processors on one node still exchange protocol messages
+//     (classified intra-node), no alias mapping, so page updates need the
+//     extra write-enable/write-disable mprotect pair the paper counts.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/check.hpp"
+#include "common/mathutil.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/topology.hpp"
+
+namespace omsp::tmk {
+
+enum class Mode { kThread, kProcess };
+
+// Consistency protocol family:
+//  * kLazyRC  — TreadMarks' lazy release consistency with distributed diffs
+//    fetched from their writers on demand (the paper's system).
+//  * kHomeLRC — home-based LRC in the style of HLRC-SMP/Cashmere-2L (§6
+//    related work): every page has a home; writers eagerly flush diffs to
+//    the home at releases, and faulting nodes fetch the whole page from the
+//    home. Fewer control messages, more data — the classic trade-off.
+enum class Protocol { kLazyRC, kHomeLRC };
+
+struct Config {
+  sim::Topology topology = sim::Topology::sp2();
+  Mode mode = Mode::kThread;
+  std::size_t heap_bytes = 16u << 20; // shared heap size (rounded to pages)
+  sim::CostModel cost = sim::CostModel::sp2_default();
+
+  // Ablation knobs. Defaults follow the paper: the thread version has the
+  // alias ("second") mapping and the per-page fault mutex; the original
+  // version has neither.
+  std::optional<bool> alias_mapping; // default: mode == kThread
+  std::optional<bool> per_page_fault_lock; // default: mode == kThread
+
+  // When false, diffs are created eagerly at interval close instead of on
+  // first request (TreadMarks is lazy; this knob exists for the ablation
+  // bench).
+  bool lazy_diffs = true;
+
+  // Garbage collection: when the cluster-wide stored-diff volume exceeds
+  // this many bytes, the next barrier runs a TreadMarks-style GC — every
+  // context validates all its pages, then interval records and stored diffs
+  // are discarded. 0 disables GC.
+  std::size_t gc_threshold_bytes = 0;
+
+  Protocol protocol = Protocol::kLazyRC;
+
+  bool use_alias_mapping() const {
+    return alias_mapping.value_or(mode == Mode::kThread);
+  }
+  bool use_per_page_fault_lock() const {
+    return per_page_fault_lock.value_or(mode == Mode::kThread);
+  }
+
+  // One DSM context per node (thread mode) or per processor (process mode).
+  std::uint32_t num_contexts() const {
+    return mode == Mode::kThread ? topology.nodes() : topology.nprocs();
+  }
+  std::uint32_t threads_per_context() const {
+    return mode == Mode::kThread ? topology.procs_per_node() : 1;
+  }
+  ContextId context_of_rank(Rank r) const {
+    return mode == Mode::kThread ? topology.node_of_rank(r) : r;
+  }
+  NodeId node_of_context(ContextId c) const {
+    return mode == Mode::kThread ? c : topology.node_of_rank(c);
+  }
+  // Thread slot of rank within its context.
+  std::uint32_t slot_of_rank(Rank r) const {
+    return mode == Mode::kThread ? topology.proc_of_rank(r) : 0;
+  }
+
+  void validate() const {
+    OMSP_CHECK(heap_bytes > 0);
+    OMSP_CHECK(topology.nprocs() >= 1);
+  }
+};
+
+} // namespace omsp::tmk

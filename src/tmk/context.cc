@@ -1,0 +1,761 @@
+#include "tmk/context.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "sim/virtual_clock.hpp"
+
+#include <ctime>
+
+namespace omsp::tmk {
+
+namespace {
+// Debug tracing for one page, enabled with OMSP_TRACE_PAGE=<id> (or -2 for
+// all pages); OMSP_TRACE_OFF selects the in-page byte offset whose 64-bit
+// value is printed with each event.
+int trace_page() {
+  static int page = [] {
+    const char* env = std::getenv("OMSP_TRACE_PAGE");
+    return env != nullptr ? std::atoi(env) : -1;
+  }();
+  return page;
+}
+std::size_t trace_off() {
+  static std::size_t off = [] {
+    const char* env = std::getenv("OMSP_TRACE_OFF");
+    return env != nullptr ? static_cast<std::size_t>(std::atoi(env)) : 0;
+  }();
+  return off;
+}
+#define OMSP_PTRACE(p, ...)                                                   \
+  do {                                                                        \
+    if (trace_page() == -2 || static_cast<int>(p) == trace_page())            \
+        [[unlikely]] {                                                        \
+      char tbuf_[512];                                                        \
+      int tn_ =                                                               \
+          std::snprintf(tbuf_, sizeof tbuf_, "[ctx%u pg%u] ", id_, (p));      \
+      tn_ += std::snprintf(tbuf_ + tn_, sizeof tbuf_ - tn_, __VA_ARGS__);     \
+      tbuf_[tn_++] = '\n';                                                    \
+      std::fwrite(tbuf_, 1, tn_, stderr);                                     \
+    }                                                                         \
+  } while (0)
+// Chaos mode (OMSP_CHAOS=<permille>): sleeps a random few microseconds at
+// protocol decision points to shake out interleavings the scheduler would
+// rarely produce. Zero overhead when the variable is unset.
+unsigned chaos_permille() {
+  // Read dynamically (not latched) so tests can toggle chaos per-fixture.
+  // The getenv cost only occurs at protocol decision points, never on the
+  // plain load/store fast path.
+  const char* env = std::getenv("OMSP_CHAOS");
+  return env != nullptr ? static_cast<unsigned>(std::atoi(env)) : 0u;
+}
+
+void chaos_point() {
+  const unsigned p = chaos_permille();
+  if (p == 0) return;
+  thread_local std::uint64_t state =
+      0x9e3779b97f4a7c15ULL ^
+      reinterpret_cast<std::uintptr_t>(&state);
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  if (state % 1000 < p) {
+    timespec ts{0, static_cast<long>(1000 + state % 20000)}; // 1-21 us
+    nanosleep(&ts, nullptr);
+  }
+}
+
+} // namespace
+
+DsmContext::DsmContext(ContextId id, const Config& config, net::Router& router)
+    : config_(config), id_(id), router_(router), stats_(&router.stats(id)),
+      heap_(config.heap_bytes, config.use_alias_mapping(), stats_,
+            &config.cost),
+      per_page_locks_(config.use_per_page_fault_lock()) {
+  nc_ = config.num_contexts();
+  const std::size_t npages = heap_.pages();
+  if (per_page_locks_) page_mutexes_ = std::make_unique<std::mutex[]>(npages);
+  pages_.resize(npages);
+  dirty_.resize(npages);
+  vt_ = VectorTime(nc_);
+  table_.resize(nc_);
+  table_base_.assign(nc_, 0);
+  last_listed_.assign(npages, 0);
+  pending_.assign(npages * nc_, 0);
+  applied_.assign(npages * nc_, 0);
+  router_.bind_handler(id, this);
+  FaultRegistry::add_region(heap_.app_base(), heap_.bytes(), this);
+}
+
+DsmContext::~DsmContext() { FaultRegistry::remove_region(heap_.app_base()); }
+
+void DsmContext::on_fault(void* addr, bool is_write) {
+  OMSP_CHECK_MSG(heap_.contains(addr), "fault outside this context's heap");
+  sim::RuntimeSection rs;
+  if (rs.clock() != nullptr) {
+    rs.clock()->charge(config_.cost.fault_dispatch_us);
+    // The kernel's trap/sigreturn time around this fault was captured by the
+    // clock sync as if it were application compute; take it back out.
+    rs.clock()->discount_cpu(FaultRegistry::fault_trap_overhead_us());
+  }
+  stats_->add(Counter::kPageFaults);
+  stats_->add(is_write ? Counter::kWriteFaults : Counter::kReadFaults);
+
+  const PageId p = heap_.page_of(addr);
+  OMSP_PTRACE(p, "fault is_write=%d", is_write ? 1 : 0);
+  std::unique_lock<std::mutex> lock(page_lock(p));
+  PageMeta& meta = pages_[p];
+
+  for (;;) {
+    if (meta.fetch_in_progress) {
+      // Another thread of this node is updating the page (thread mode).
+      fetch_cv_.wait(lock);
+      continue;
+    }
+    if (meta.state == PageState::kInvalid) {
+      if (config_.protocol == Protocol::kHomeLRC)
+        fetch_from_home(p, lock);
+      else
+        fetch_and_apply(p, lock);
+      // fetch_and_apply leaves state kInvalid with all pending notices
+      // applied; install the final access below.
+      const bool want_write = is_write || meta.twin != nullptr;
+      if (want_write) {
+        if (meta.twin == nullptr) make_twin(p);
+        meta.state = PageState::kReadWrite;
+        meta.written_since_flush = true;
+        if (meta.prot != Protection::kReadWrite)
+          set_prot(p, Protection::kReadWrite);
+      } else {
+        meta.state = PageState::kRead;
+        set_prot(p, Protection::kRead);
+      }
+      fetch_cv_.notify_all();
+      break;
+    }
+    if (is_write && meta.state == PageState::kRead) {
+      // Write miss on a valid page: start an interval's twin (or resume one
+      // a flush left behind) and open the page for writing — one mprotect;
+      // the alias mapping removed the original system's separate
+      // write-enable (§3.3.1).
+      if (meta.twin == nullptr) make_twin(p);
+      meta.state = PageState::kReadWrite;
+      meta.written_since_flush = true;
+      set_prot(p, Protection::kReadWrite);
+      break;
+    }
+    // Spurious: another thread already installed sufficient access.
+    break;
+  }
+}
+
+void DsmContext::set_prot(PageId p, Protection prot) {
+  PageMeta& meta = pages_[p];
+  heap_.protect(p, prot);
+  meta.prot = prot;
+  OMSP_PTRACE(p, "set_prot %d", static_cast<int>(prot));
+}
+
+void DsmContext::make_twin(PageId p) {
+  PageMeta& meta = pages_[p];
+  OMSP_CHECK(meta.twin == nullptr);
+  meta.twin = std::make_unique<std::uint8_t[]>(kPageSize);
+  heap_.snapshot_page(p, meta.twin.get());
+  stats_->add(Counter::kTwins);
+  OMSP_PTRACE(p, "twin made val=%ld",
+              reinterpret_cast<const long*>(meta.twin.get())[trace_off() / 8]);
+  if (auto* clock = sim::VirtualClock::current(); clock != nullptr)
+    clock->charge(config_.cost.twin_us);
+  std::lock_guard<std::mutex> dl(dirty_mutex_);
+  dirty_.set(p);
+}
+
+void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
+  PageMeta& meta = pages_[p];
+  OMSP_CHECK(!meta.fetch_in_progress);
+  meta.fetch_in_progress = true;
+
+  struct Need {
+    ContextId creator;
+    IntervalSeq have;
+    IntervalSeq want;
+  };
+  struct Got {
+    std::uint64_t vtsum;
+    IntervalSeq seq;
+    ContextId creator;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  // Collect every diff first, apply once at the end: applying per fetch
+  // round could put a later round's lower-vt diff on top of bytes a causally
+  // newer diff already installed. Notice batches are vector-time-complete,
+  // so all causally related pendings surface within this one fetch session
+  // and a single global sort yields a correct order.
+  std::vector<Got> got;
+  for (;;) {
+    std::vector<Need> needs;
+    VectorTime my_vt;
+    {
+      std::lock_guard<std::mutex> tl(table_mutex_);
+      my_vt = vt_;
+      for (ContextId c = 0; c < nc_; ++c) {
+        if (c == id_) continue;
+        const IntervalSeq pend = pending_[std::size_t{p} * nc_ + c];
+        const IntervalSeq have = applied_[std::size_t{p} * nc_ + c];
+        if (pend > have) needs.push_back({c, have, pend});
+      }
+    }
+    if (needs.empty()) break;
+    for (const Need& nd : needs)
+      OMSP_PTRACE(p, "fetch need creator=%u have=%u want=%u", nd.creator,
+                  nd.have, nd.want);
+
+    // Fetch with no page lock held: a remote context may concurrently be
+    // fetching *our* diffs for the same page (mutual false sharing) and its
+    // request handler takes our page lock.
+    lock.unlock();
+    chaos_point();
+    for (const Need& need : needs) {
+      // The request carries our vector time; the reply piggybacks every
+      // interval record we lack. Merging them (an acquire, effectively)
+      // before our next interval closes makes our later intervals causally
+      // dominate every byte consumed here — the property that makes the
+      // vt-sum apply order correct for conflicting diffs.
+      ByteWriter req;
+      req.put<PageId>(p);
+      req.put<IntervalSeq>(need.have);
+      req.put<IntervalSeq>(need.want);
+      my_vt.serialize(req);
+      auto reply = router_.call(id_, need.creator, kMsgDiffRequest, req);
+      ByteReader r(reply);
+      auto recs = deserialize_records(r);
+      if (!recs.empty()) apply_records(recs); // no page lock held
+      const auto floor = r.get<IntervalSeq>();
+      const auto count = r.get<std::uint32_t>();
+      IntervalSeq maxseq = std::max(need.have, floor);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Got g;
+        g.seq = r.get<IntervalSeq>();
+        g.vtsum = r.get<std::uint64_t>();
+        g.creator = need.creator;
+        g.bytes = r.get_span<std::uint8_t>();
+        maxseq = std::max(maxseq, g.seq);
+        got.push_back(std::move(g));
+      }
+      {
+        std::lock_guard<std::mutex> tl(table_mutex_);
+        IntervalSeq& a = applied_[std::size_t{p} * nc_ + need.creator];
+        a = std::max(a, maxseq);
+        OMSP_PTRACE(p, "applied[%u] -> %u", need.creator, a);
+      }
+    }
+    lock.lock();
+    // Loop: the piggybacked records (or a concurrent acquire by another
+    // thread of this node) may have queued new notices while we fetched.
+  }
+
+  // Apply in a linearization of happens-before (vt sums): causally ordered
+  // diffs land in order; concurrent diffs touch disjoint bytes in any
+  // data-race-free program, so their relative order is irrelevant.
+  std::stable_sort(got.begin(), got.end(),
+                   [](const Got& a, const Got& b) { return a.vtsum < b.vtsum; });
+  if (!got.empty()) {
+    if (!heap_.has_alias() && meta.prot != Protection::kReadWrite)
+      set_prot(p, Protection::kReadWrite); // original needs write-enable
+    std::uint8_t* dst =
+        heap_.has_alias() ? heap_.runtime_page(p) : heap_.app_page(p);
+    auto* clock = sim::VirtualClock::current();
+    for (const Got& g : got) {
+      apply_diff(g.bytes, dst);
+      OMSP_PTRACE(p,
+                  "apply diff creator=%u seq=%u bytes=%zu vtsum=%llu -> val=%ld",
+                  g.creator, g.seq, g.bytes.size(),
+                  static_cast<unsigned long long>(g.vtsum),
+                  reinterpret_cast<const long*>(dst)[trace_off() / 8]);
+      // A locally-dirty page must absorb remote diffs into its twin as well:
+      // otherwise this context's next diff would re-export the remote bytes
+      // under its own (possibly concurrent) interval, and a third context
+      // could apply that stale copy over a newer write. With the twin kept
+      // current, local diffs contain local writes only.
+      if (meta.twin != nullptr) apply_diff(g.bytes, meta.twin.get());
+      stats_->add(Counter::kDiffsApplied);
+      if (clock != nullptr)
+        clock->charge(config_.cost.diff_apply_base_us +
+                      config_.cost.diff_byte_us *
+                          static_cast<double>(g.bytes.size()));
+    }
+  }
+  meta.fetch_in_progress = false;
+}
+
+void DsmContext::handle(ContextId src, std::uint16_t type, ByteReader& request,
+                        ByteWriter& reply) {
+  (void)src;
+  if (type == kMsgDiffToHome) {
+    const auto p = request.get<PageId>();
+    OMSP_CHECK(home_of(p) == id_);
+    const auto bytes = request.get_span<std::uint8_t>();
+    std::lock_guard<std::mutex> pl(page_lock(p));
+    apply_bytes_at_home(p, bytes.data(), bytes.size(), /*full_page=*/false);
+    stats_->add(Counter::kDiffsApplied);
+    return;
+  }
+  if (type == kMsgPageRequest) {
+    const auto p = request.get<PageId>();
+    OMSP_CHECK(home_of(p) == id_);
+    std::lock_guard<std::mutex> pl(page_lock(p));
+    // The home's copy is authoritative and always valid; snapshot it.
+    std::uint8_t snapshot[kPageSize];
+    heap_.snapshot_page(p, snapshot);
+    reply.put_span<std::uint8_t>({snapshot, kPageSize});
+    stats_->add(Counter::kFullPageFetches);
+    return;
+  }
+  OMSP_CHECK_MSG(type == kMsgDiffRequest, "unknown tmk message type");
+  const auto p = request.get<PageId>();
+  const auto have = request.get<IntervalSeq>();
+  (void)request.get<IntervalSeq>(); // want — informational
+  const VectorTime req_vt = VectorTime::deserialize(request);
+  OMSP_CHECK(p < pages_.size());
+
+  std::unique_lock<std::mutex> lock(page_lock(p));
+  PageMeta& meta = pages_[p];
+  // Lazy diffing: materialize the outstanding twin only when a requester
+  // actually asks for this page.
+  if (meta.twin != nullptr) flush_page_diff_locked(p);
+
+  // Piggyback every interval record the requester lacks. Computed AFTER the
+  // flush so a freshly minted interval is included — the requester must
+  // merge it for the causal-dominance ordering argument to hold.
+  // (records_unknown_to takes the table lock, which nests inside page locks.)
+  serialize_records(records_unknown_to(req_vt), reply);
+
+  // With no twin outstanding, everything any of our published intervals has
+  // listed for this page is contained in the stored diffs. The floor lets
+  // the requester mark those intervals applied even when its `have` filter
+  // leaves nothing to send (e.g. the content travelled under an older tag
+  // fetched earlier).
+  IntervalSeq floor;
+  {
+    std::lock_guard<std::mutex> tl(table_mutex_);
+    floor = last_listed_[p];
+  }
+  reply.put<IntervalSeq>(floor);
+
+  std::uint32_t count = 0;
+  for (const auto& [seq, bytes] : meta.stored_diffs)
+    if (seq > have) ++count;
+  reply.put<std::uint32_t>(count);
+  for (const auto& [seq, bytes] : meta.stored_diffs) {
+    if (seq <= have) continue;
+    reply.put<IntervalSeq>(seq);
+    reply.put<std::uint64_t>(vt_sum_of_own(seq));
+    reply.put_span<std::uint8_t>({bytes.data(), bytes.size()});
+  }
+}
+
+void DsmContext::apply_bytes_at_home(PageId p, const std::uint8_t* bytes,
+                                     std::size_t len, bool full_page) {
+  PageMeta& meta = pages_[p];
+  // The home needs write access to its own copy without exposing stale
+  // state to its applications: the alias mapping (thread mode) or a brief
+  // write-enable on the app mapping (process mode), mirroring fetch_and_apply.
+  const Protection prot_before = meta.prot;
+  if (!heap_.has_alias() && meta.prot != Protection::kReadWrite)
+    set_prot(p, Protection::kReadWrite);
+  std::uint8_t* dst =
+      heap_.has_alias() ? heap_.runtime_page(p) : heap_.app_page(p);
+  if (full_page) {
+    std::memcpy(dst, bytes, kPageSize);
+    if (meta.twin != nullptr) std::memcpy(meta.twin.get(), bytes, kPageSize);
+  } else {
+    apply_diff({bytes, len}, dst);
+    // Keep a concurrent local twin in sync so local diffs stay local-only.
+    if (meta.twin != nullptr) apply_diff({bytes, len}, meta.twin.get());
+  }
+  if (!heap_.has_alias()) {
+    // Restore the application-visible protection.
+    if (meta.prot != prot_before) set_prot(p, prot_before);
+  }
+}
+
+void DsmContext::fetch_from_home(PageId p,
+                                 std::unique_lock<std::mutex>& lock) {
+  PageMeta& meta = pages_[p];
+  OMSP_CHECK(!meta.fetch_in_progress);
+  OMSP_CHECK(home_of(p) != id_); // the home never invalidates its own pages
+  meta.fetch_in_progress = true;
+
+  for (;;) {
+    // Snapshot the notices this fetch will satisfy BEFORE asking the home: a
+    // notice arriving mid-fetch describes a release the fetched image may
+    // predate, so it must trigger another round, not be marked applied.
+    std::vector<IntervalSeq> pend_before(nc_);
+    bool anything_pending = false;
+    {
+      std::lock_guard<std::mutex> tl(table_mutex_);
+      for (ContextId c = 0; c < nc_; ++c) {
+        pend_before[c] = pending_[std::size_t{p} * nc_ + c];
+        if (pend_before[c] > applied_[std::size_t{p} * nc_ + c])
+          anything_pending = true;
+      }
+    }
+    if (!anything_pending) break;
+
+    // Preserve local writes: capture the twin delta before the whole-page
+    // overwrite, re-apply it on top afterwards, and rebase the twin onto
+    // the fetched image so the next release diff carries only local bytes.
+    DiffBytes local_delta;
+    if (meta.twin != nullptr) {
+      std::uint8_t snapshot[kPageSize];
+      heap_.snapshot_page(p, snapshot);
+      local_delta = create_diff(meta.twin.get(), snapshot, kPageSize);
+    }
+
+    lock.unlock();
+    ByteWriter req;
+    req.put<PageId>(p);
+    auto reply = router_.call(id_, home_of(p), kMsgPageRequest, req);
+    lock.lock();
+
+    ByteReader r(reply);
+    const auto page_bytes = r.get_span<std::uint8_t>();
+    OMSP_CHECK(page_bytes.size() == kPageSize);
+    if (!heap_.has_alias() && meta.prot != Protection::kReadWrite)
+      set_prot(p, Protection::kReadWrite);
+    std::uint8_t* dst =
+        heap_.has_alias() ? heap_.runtime_page(p) : heap_.app_page(p);
+    std::memcpy(dst, page_bytes.data(), kPageSize);
+    if (meta.twin != nullptr)
+      std::memcpy(meta.twin.get(), page_bytes.data(), kPageSize);
+    if (!local_delta.empty()) {
+      apply_diff(local_delta, dst); // twin NOT patched: delta stays local
+    }
+    if (auto* clock = sim::VirtualClock::current(); clock != nullptr)
+      clock->charge(config_.cost.diff_apply_base_us +
+                    config_.cost.diff_byte_us * kPageSize);
+
+    // The home had every diff whose notice we held before the fetch: a
+    // notice only becomes visible after its release, and the release posted
+    // the diff to the home synchronously first.
+    {
+      std::lock_guard<std::mutex> tl(table_mutex_);
+      for (ContextId c = 0; c < nc_; ++c) {
+        IntervalSeq& a = applied_[std::size_t{p} * nc_ + c];
+        a = std::max(a, pend_before[c]);
+      }
+    }
+  }
+  meta.fetch_in_progress = false;
+}
+
+void DsmContext::flush_page_diff_locked(PageId p) {
+  chaos_point();
+  PageMeta& meta = pages_[p];
+  OMSP_CHECK(meta.twin != nullptr);
+  // Write-protect BEFORE diffing: a sibling thread of this node may be
+  // storing into the page right now (it holds write access). Revoking write
+  // access first guarantees every store is either complete — and thus
+  // captured by the diff — or will fault and wait on the page lock. Diffing
+  // first would let a store land after the scan and silently vanish when the
+  // twin is freed.
+  if (meta.state == PageState::kReadWrite) {
+    meta.state = PageState::kRead;
+    set_prot(p, Protection::kRead);
+  }
+  // Snapshot the contents without touching the app mapping's protection:
+  // relaxing an invalid page here would let the application read stale data
+  // (or write) concurrently without faulting.
+  std::uint8_t snapshot[kPageSize];
+  heap_.snapshot_page(p, snapshot);
+  const std::uint8_t* current = snapshot;
+  DiffBytes diff = create_diff(meta.twin.get(), current, kPageSize);
+
+  IntervalSeq tag;
+  {
+    std::lock_guard<std::mutex> tl(table_mutex_);
+    if (meta.written_since_flush && !diff.empty()) {
+      // The twin holds writes no published interval covers yet. Mint a
+      // fresh interval for them: its record carries our CURRENT vector
+      // time, so it causally dominates every interval whose data those
+      // writes consumed — the dominance that orders this diff correctly
+      // against concurrent diffs for the same page at third parties.
+      tag = ++vt_[id_];
+      table_[id_].push_back(IntervalInfo{vt_, {p}});
+      last_listed_[p] = tag;
+      stats_->add(Counter::kIntervals);
+      OMSP_PTRACE(p, "flush mints interval seq=%u", tag);
+    } else {
+      // All twin content is covered by published intervals listing p.
+      tag = last_listed_[p];
+    }
+  }
+  meta.written_since_flush = false;
+
+  stats_->add(Counter::kDiffsCreated);
+  stats_->add(Counter::kDiffBytesCreated, diff.size());
+  if (auto* clock = sim::VirtualClock::current(); clock != nullptr)
+    clock->charge(config_.cost.diff_create_base_us +
+                  config_.cost.diff_byte_us * kPageSize);
+  OMSP_PTRACE(p, "flush tag=%u bytes=%zu state=%d twin=%ld cur=%ld", tag,
+              diff.size(), static_cast<int>(meta.state),
+              reinterpret_cast<const long*>(meta.twin.get())[trace_off() / 8],
+              reinterpret_cast<const long*>(current)[trace_off() / 8]);
+  if (!diff.empty()) {
+    stored_diff_bytes_.fetch_add(diff.size(), std::memory_order_relaxed);
+    if (!meta.stored_diffs.empty() && meta.stored_diffs.back().first == tag) {
+      // Same tag means same twin base with no local writes since; the newer
+      // scan can only add remote-applied bytes, which equal the twin and
+      // thus never appear. Replace defensively.
+      stored_diff_bytes_.fetch_sub(meta.stored_diffs.back().second.size(),
+                                   std::memory_order_relaxed);
+      meta.stored_diffs.back().second = std::move(diff);
+    } else {
+      OMSP_CHECK(meta.stored_diffs.empty() ||
+                 meta.stored_diffs.back().first < tag);
+      meta.stored_diffs.emplace_back(tag, std::move(diff));
+    }
+  }
+  meta.twin.reset();
+  {
+    std::lock_guard<std::mutex> dl(dirty_mutex_);
+    dirty_.reset(p);
+  }
+}
+
+std::optional<IntervalRecord> DsmContext::close_interval() {
+  // Atomic under the table lock: the interval's record, its vector time, the
+  // per-page "newest listing" marks and the watermark all publish together,
+  // so a concurrent flush can never observe a half-closed interval.
+  IntervalRecord rec;
+  {
+    std::lock_guard<std::mutex> tl(table_mutex_);
+    {
+      std::lock_guard<std::mutex> dl(dirty_mutex_);
+      dirty_.for_each_set([&](std::size_t p) {
+        rec.pages.push_back(static_cast<PageId>(p));
+      });
+    }
+    if (rec.pages.empty()) return std::nullopt;
+    rec.creator = id_;
+    rec.seq = ++vt_[id_];
+    rec.vt = vt_;
+    table_[id_].push_back(IntervalInfo{rec.vt, rec.pages});
+    for (PageId p : rec.pages) last_listed_[p] = rec.seq;
+  }
+  for (PageId p : rec.pages)
+    OMSP_PTRACE(p, "close lists page in interval seq=%u", rec.seq);
+  stats_->add(Counter::kIntervals);
+
+  if (config_.protocol == Protocol::kHomeLRC) {
+    // Eagerly flush every dirty page's delta to its home, then retire the
+    // twin: the home becomes the (only) place data is fetched from.
+    for (PageId p : rec.pages) {
+      std::lock_guard<std::mutex> pl(page_lock(p));
+      PageMeta& meta = pages_[p];
+      if (meta.twin == nullptr) continue;
+      if (meta.state == PageState::kReadWrite) {
+        meta.state = PageState::kRead;
+        set_prot(p, Protection::kRead); // write barrier before the scan
+      }
+      std::uint8_t snapshot[kPageSize];
+      heap_.snapshot_page(p, snapshot);
+      DiffBytes diff = create_diff(meta.twin.get(), snapshot, kPageSize);
+      stats_->add(Counter::kDiffsCreated);
+      stats_->add(Counter::kDiffBytesCreated, diff.size());
+      if (auto* clock = sim::VirtualClock::current(); clock != nullptr)
+        clock->charge(config_.cost.diff_create_base_us +
+                      config_.cost.diff_byte_us * kPageSize);
+      if (home_of(p) != id_ && !diff.empty()) {
+        ByteWriter msg;
+        msg.put<PageId>(p);
+        msg.put_span<std::uint8_t>({diff.data(), diff.size()});
+        (void)router_.call(id_, home_of(p), kMsgDiffToHome, msg);
+      }
+      meta.twin.reset();
+      meta.written_since_flush = false;
+      std::lock_guard<std::mutex> dl(dirty_mutex_);
+      dirty_.reset(p);
+    }
+    return rec;
+  }
+
+  if (!config_.lazy_diffs) {
+    for (PageId p : rec.pages) {
+      std::lock_guard<std::mutex> pl(page_lock(p));
+      if (pages_[p].twin != nullptr) flush_page_diff_locked(p);
+    }
+  }
+  return rec;
+}
+
+void DsmContext::apply_records(const std::vector<IntervalRecord>& records) {
+  chaos_point();
+  std::vector<PageId> to_invalidate;
+  std::uint64_t notices = 0;
+  {
+    std::lock_guard<std::mutex> tl(table_mutex_);
+    // Store all records first so the vt <= table-size invariant holds when
+    // the merged vector time is published.
+    for (const auto& rec : records) {
+      if (rec.creator == id_) continue;
+      auto& tbl = table_[rec.creator];
+      const IntervalSeq known = table_base_[rec.creator] +
+                                static_cast<IntervalSeq>(tbl.size());
+      if (rec.seq <= known) continue; // duplicate delivery
+      OMSP_CHECK_MSG(rec.seq == known + 1,
+                     "interval records must arrive in per-creator order");
+      tbl.push_back(IntervalInfo{rec.vt, rec.pages});
+    }
+    for (const auto& rec : records) {
+      if (rec.creator == id_) continue;
+      if (vt_[rec.creator] < rec.seq) vt_[rec.creator] = rec.seq;
+      vt_.merge(rec.vt);
+      for (PageId p : rec.pages) {
+        ++notices;
+        IntervalSeq& pend = pending_[std::size_t{p} * nc_ + rec.creator];
+        if (rec.seq > pend) pend = rec.seq;
+        OMSP_PTRACE(p, "notice creator=%u seq=%u pend=%u applied=%u",
+                    rec.creator, rec.seq, pend,
+                    applied_[std::size_t{p} * nc_ + rec.creator]);
+        if (config_.protocol == Protocol::kHomeLRC && home_of(p) == id_)
+          continue; // the home's copy is kept current by eager diffs
+        if (pend > applied_[std::size_t{p} * nc_ + rec.creator])
+          to_invalidate.push_back(p);
+      }
+    }
+    // Invariant: every interval a merged vector time covers must be stored.
+    for (ContextId c = 0; c < nc_; ++c)
+      OMSP_CHECK_MSG(vt_[c] <= table_base_[c] + table_[c].size(),
+                     "apply_records left an uncovered vector-time claim");
+  }
+  stats_->add(Counter::kWriteNoticesRecv, notices);
+
+  std::sort(to_invalidate.begin(), to_invalidate.end());
+  to_invalidate.erase(std::unique(to_invalidate.begin(), to_invalidate.end()),
+                      to_invalidate.end());
+  for (PageId p : to_invalidate) {
+    std::lock_guard<std::mutex> pl(page_lock(p));
+    PageMeta& meta = pages_[p];
+    if (meta.state != PageState::kInvalid) {
+      meta.state = PageState::kInvalid;
+      set_prot(p, Protection::kNone);
+      stats_->add(Counter::kPageInvalidations);
+      OMSP_PTRACE(p, "invalidated");
+    }
+  }
+}
+
+std::vector<IntervalRecord>
+DsmContext::records_unknown_to(const VectorTime& other_vt) {
+  std::vector<IntervalRecord> out;
+  std::lock_guard<std::mutex> tl(table_mutex_);
+  for (ContextId c = 0; c < nc_; ++c) {
+    OMSP_CHECK_MSG(vt_[c] <= table_base_[c] + table_[c].size(),
+                   "vector time exceeds stored interval records");
+    for (IntervalSeq seq = other_vt[c] + 1; seq <= vt_[c]; ++seq) {
+      OMSP_CHECK_MSG(seq > table_base_[c],
+                     "peer needs a garbage-collected interval record");
+      const IntervalInfo& info = table_[c][seq - 1 - table_base_[c]];
+      out.push_back(IntervalRecord{c, seq, info.vt, info.pages});
+    }
+  }
+  return out;
+}
+
+std::vector<IntervalRecord> DsmContext::own_records_since(IntervalSeq since) {
+  std::vector<IntervalRecord> out;
+  std::lock_guard<std::mutex> tl(table_mutex_);
+  for (IntervalSeq seq = since + 1; seq <= vt_[id_]; ++seq) {
+    const IntervalInfo& info = table_[id_][seq - 1 - table_base_[id_]];
+    out.push_back(IntervalRecord{id_, seq, info.vt, info.pages});
+  }
+  return out;
+}
+
+VectorTime DsmContext::vt_snapshot() {
+  std::lock_guard<std::mutex> tl(table_mutex_);
+  return vt_;
+}
+
+IntervalSeq DsmContext::own_seq() {
+  std::lock_guard<std::mutex> tl(table_mutex_);
+  return vt_[id_];
+}
+
+std::uint64_t DsmContext::vt_sum_of_own(IntervalSeq seq) {
+  std::lock_guard<std::mutex> tl(table_mutex_);
+  OMSP_CHECK(seq > table_base_[id_] &&
+             seq <= table_base_[id_] + table_[id_].size());
+  return table_[id_][seq - 1 - table_base_[id_]].vt.sum();
+}
+
+PageState DsmContext::page_state(PageId p) {
+  std::lock_guard<std::mutex> pl(page_lock(p));
+  return pages_[p].state;
+}
+
+bool DsmContext::page_dirty(PageId p) {
+  std::lock_guard<std::mutex> dl(dirty_mutex_);
+  return dirty_.test(p);
+}
+
+std::size_t DsmContext::stored_diff_count(PageId p) {
+  std::lock_guard<std::mutex> pl(page_lock(p));
+  return pages_[p].stored_diffs.size();
+}
+
+void DsmContext::validate_all_pages() {
+  for (PageId p = 0; p < pages_.size(); ++p) {
+    std::unique_lock<std::mutex> lock(page_lock(p));
+    PageMeta& meta = pages_[p];
+    if (meta.state != PageState::kInvalid) continue;
+    OMSP_CHECK(!meta.fetch_in_progress);
+    if (config_.protocol == Protocol::kHomeLRC)
+      fetch_from_home(p, lock);
+    else
+      fetch_and_apply(p, lock);
+    if (meta.twin != nullptr) {
+      meta.state = PageState::kReadWrite;
+      meta.written_since_flush = true;
+      if (meta.prot != Protection::kReadWrite)
+        set_prot(p, Protection::kReadWrite);
+    } else {
+      meta.state = PageState::kRead;
+      set_prot(p, Protection::kRead);
+    }
+  }
+}
+
+void DsmContext::collect_garbage() {
+  // Sound only at a quiescent, fully-validated barrier (the caller checked
+  // all vector times are equal and every page everywhere is valid): no peer
+  // can ever request a diff tagged <= the current vts again, and
+  // records_unknown_to loops are empty for all peers from here.
+  for (PageId p = 0; p < pages_.size(); ++p) {
+    std::lock_guard<std::mutex> pl(page_lock(p));
+    for (auto& [seq, bytes] : pages_[p].stored_diffs)
+      stored_diff_bytes_.fetch_sub(bytes.size(), std::memory_order_relaxed);
+    pages_[p].stored_diffs.clear();
+    pages_[p].stored_diffs.shrink_to_fit();
+  }
+  std::lock_guard<std::mutex> tl(table_mutex_);
+  for (ContextId c = 0; c < nc_; ++c) {
+    table_base_[c] = vt_[c];
+    table_[c].clear();
+    table_[c].shrink_to_fit();
+  }
+}
+
+void DsmContext::flush_all_diffs() {
+  for (PageId p = 0; p < pages_.size(); ++p) {
+    std::lock_guard<std::mutex> pl(page_lock(p));
+    if (pages_[p].twin != nullptr) flush_page_diff_locked(p);
+  }
+}
+
+} // namespace omsp::tmk

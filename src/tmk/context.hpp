@@ -1,0 +1,213 @@
+// DsmContext — one TreadMarks address space.
+//
+// In thread mode a context is an SMP node shared by procs_per_node worker
+// threads (the paper's contribution); in process mode a context is a single
+// processor (the paper's "original" system). Each context owns:
+//   * a private copy of the shared heap (HeapMapping) whose page protections
+//     implement access detection,
+//   * a page table with twins, stored per-interval diffs and fetch state,
+//   * the lazy-release-consistency bookkeeping: a vector time, the table of
+//     known intervals with their write notices, and per-page pending/applied
+//     interval marks per creator.
+//
+// Correctness cornerstones (each guards against a bug class found while
+// hardening the protocol; see DESIGN.md):
+//   * Byte-exact diffs: a diff never carries an unchanged byte, so the
+//     multiple-writer merge only touches bytes its creator actually wrote.
+//   * A flush write-protects the page BEFORE scanning it, so a concurrent
+//     sibling store either completes (visible to the diff) or faults.
+//   * Incoming diffs are applied to the twin as well as the working copy, so
+//     a local diff never re-exports another context's bytes.
+//   * A diff whose twin held writes not yet covered by a published interval
+//     is tagged with a freshly minted interval carrying the context's
+//     current vector time. Combined with diff replies piggybacking the
+//     interval records the requester lacks, every consumer's later intervals
+//     causally dominate the bytes it consumed — which makes the vt-sum apply
+//     order correct for all conflicting diffs.
+//   * Diffs gathered across all rounds of one fetch are applied in a single
+//     globally vt-sorted pass (a per-round apply could put an older diff on
+//     top of a newer one).
+//
+// Locking discipline (deadlock-free by construction):
+//   page_lock(p)  — guards one page's state/twin/diffs. Taken by the fault
+//                   path, invalidation, and the remote diff-request handler
+//                   (each only for its own context's pages). NEVER held
+//                   across a remote call: the fault path marks the page
+//                   "fetch in progress", unlocks, fetches, re-locks.
+//   table_mutex_  — guards vt/interval table/pending/applied/last_listed.
+//                   May be taken while holding a page lock, never the other
+//                   way round.
+//   dirty_mutex_  — guards the dirty-page bitset; leaf lock (may nest inside
+//                   both of the above).
+// Remote handlers only take locks of the *target* context and never call out
+// while holding them, so the wait-for graph has no cross-context cycles.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "net/router.hpp"
+#include "tmk/config.hpp"
+#include "tmk/diff.hpp"
+#include "tmk/fault_registry.hpp"
+#include "tmk/heap_mapping.hpp"
+#include "tmk/interval.hpp"
+#include "tmk/vclock.hpp"
+
+namespace omsp::tmk {
+
+// Router message types used by the context.
+inline constexpr std::uint16_t kMsgDiffRequest = 1;
+// Home-based protocol: eager diff posted to the page's home at a release,
+// and a whole-page fetch from the home at a fault.
+inline constexpr std::uint16_t kMsgDiffToHome = 2;
+inline constexpr std::uint16_t kMsgPageRequest = 3;
+
+enum class PageState : std::uint8_t { kInvalid, kRead, kReadWrite };
+
+class DsmContext final : public FaultTarget, public net::MessageHandler {
+public:
+  DsmContext(ContextId id, const Config& config, net::Router& router);
+  ~DsmContext() override;
+
+  DsmContext(const DsmContext&) = delete;
+  DsmContext& operator=(const DsmContext&) = delete;
+
+  ContextId id() const { return id_; }
+  HeapMapping& heap() { return heap_; }
+  StatsBoard& stats() { return *stats_; }
+  std::size_t num_pages() const { return heap_.pages(); }
+
+  // --- access-miss handling (FaultTarget) ----------------------------------
+  void on_fault(void* addr, bool is_write) override;
+
+  // --- remote requests (net::MessageHandler) -------------------------------
+  void handle(ContextId src, std::uint16_t type, ByteReader& request,
+              ByteWriter& reply) override;
+
+  // --- release / acquire protocol ------------------------------------------
+  // Close the open interval. Returns the record (already stored locally) if
+  // there were dirty pages, nullopt otherwise.
+  std::optional<IntervalRecord> close_interval();
+
+  // Incorporate foreign interval records: store them, merge the vector time,
+  // record pending write notices and invalidate affected pages.
+  void apply_records(const std::vector<IntervalRecord>& records);
+
+  // All records (any creator) with seq > other_vt[creator]. Used to build
+  // lock-grant, barrier and diff-reply payloads.
+  std::vector<IntervalRecord> records_unknown_to(const VectorTime& other_vt);
+
+  // This context's own records with seq > since (test hook).
+  std::vector<IntervalRecord> own_records_since(IntervalSeq since);
+
+  VectorTime vt_snapshot();
+  IntervalSeq own_seq();
+
+  // --- introspection (tests) ------------------------------------------------
+  PageState page_state(PageId p);
+  bool page_dirty(PageId p);
+  std::size_t stored_diff_count(PageId p);
+
+  // Eagerly flush all dirty pages to diffs (the !lazy_diffs ablation; also a
+  // test hook).
+  void flush_all_diffs();
+
+  // --- garbage collection (quiescent barriers only) --------------------------
+  // Bytes of stored diffs currently held for remote consumption.
+  std::size_t stored_diff_bytes() const {
+    return stored_diff_bytes_.load(std::memory_order_relaxed);
+  }
+  // Bring every page up to date (fetch all pending diffs). Caller must
+  // guarantee no concurrent application activity (all threads at a barrier).
+  void validate_all_pages();
+  // Drop stored diffs and compact interval tables. Only sound when every
+  // context has validated (applied == pending everywhere) and all vector
+  // times are equal — the caller (the barrier manager) checks that.
+  void collect_garbage();
+
+private:
+  struct PageMeta {
+    PageState state = PageState::kRead;
+    // Mirror of the application mapping's actual protection; lets process
+    // mode know when an explicit write-enable mprotect is required.
+    Protection prot = Protection::kRead;
+    bool fetch_in_progress = false;
+    // Set whenever write access is granted; cleared when a flush ships the
+    // twin. While set, the twin may hold writes not yet covered by any
+    // published interval, so the flush must mint a fresh interval for them.
+    bool written_since_flush = false;
+    std::unique_ptr<std::uint8_t[]> twin;
+    // Per-interval diffs created by this context for this page, seq ascending.
+    std::vector<std::pair<IntervalSeq, DiffBytes>> stored_diffs;
+  };
+
+  struct IntervalInfo {
+    VectorTime vt;
+    std::vector<PageId> pages;
+  };
+
+  std::mutex& page_lock(PageId p) {
+    return per_page_locks_ ? page_mutexes_[p] : coarse_page_mutex_;
+  }
+
+  // Fault path helpers. All called with page_lock(p) held unless noted.
+  void fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock);
+  void make_twin(PageId p);
+  // Creator-side: turn the outstanding twin into a stored diff, minting a
+  // fresh interval when the twin holds unpublished writes. Frees the twin.
+  void flush_page_diff_locked(PageId p);
+  // Counted protection change that keeps PageMeta.prot in sync.
+  void set_prot(PageId p, Protection prot);
+  // Home-based protocol helpers.
+  ContextId home_of(PageId p) const { return p % nc_; }
+  void fetch_from_home(PageId p, std::unique_lock<std::mutex>& lock);
+  // Install `bytes` into this (home) context's copy of p, preserving a
+  // concurrent local twin's delta discipline.
+  void apply_bytes_at_home(PageId p, const std::uint8_t* bytes,
+                           std::size_t len, bool full_page);
+
+  std::uint64_t vt_sum_of_own(IntervalSeq seq);
+
+  const Config& config_;
+  ContextId id_;
+  std::uint32_t nc_ = 0; // cached num_contexts
+  net::Router& router_;
+  StatsBoard* stats_;
+  HeapMapping heap_;
+
+  bool per_page_locks_;
+  std::unique_ptr<std::mutex[]> page_mutexes_;
+  std::mutex coarse_page_mutex_;
+  std::condition_variable_any fetch_cv_;
+
+  std::vector<PageMeta> pages_;
+
+  std::mutex dirty_mutex_;
+  DynamicBitset dirty_;
+
+  std::atomic<std::size_t> stored_diff_bytes_{0};
+
+  std::mutex table_mutex_;
+  VectorTime vt_;
+  // Interval records per creator; the record for (c, seq) lives at index
+  // seq - 1 - table_base_[c]. GC advances the base and drops the prefix.
+  std::vector<std::vector<IntervalInfo>> table_;
+  std::vector<IntervalSeq> table_base_;
+  // last_listed_[p]: newest own interval whose record lists page p.
+  std::vector<IntervalSeq> last_listed_;
+  // pending_[p * ncontexts + c]: newest notice seq received for (p, c).
+  // applied_[p * ncontexts + c]: newest diff seq applied for (p, c).
+  std::vector<IntervalSeq> pending_;
+  std::vector<IntervalSeq> applied_;
+};
+
+} // namespace omsp::tmk

@@ -1,0 +1,107 @@
+#include "tmk/diff.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace omsp::tmk {
+
+namespace {
+
+// Runs are encoded as {u16 offset, u16 len} headers. A page offset fits in
+// 16 bits for pages up to 64K; length of a full-page run (4096) also fits.
+struct RunHeader {
+  std::uint16_t offset;
+  std::uint16_t length;
+};
+
+void put_run(DiffBytes& out, std::size_t offset, std::size_t length,
+             const std::uint8_t* data) {
+  RunHeader h{static_cast<std::uint16_t>(offset),
+              static_cast<std::uint16_t>(length)};
+  const auto* hp = reinterpret_cast<const std::uint8_t*>(&h);
+  out.insert(out.end(), hp, hp + sizeof(h));
+  out.insert(out.end(), data + offset, data + offset + length);
+}
+
+} // namespace
+
+DiffBytes create_diff(const std::uint8_t* twin, const std::uint8_t* current,
+                      std::size_t page_size) {
+  OMSP_CHECK(page_size % sizeof(std::uint64_t) == 0);
+  OMSP_CHECK(page_size <= 65536);
+  DiffBytes out;
+
+  // Runs must be byte-exact: a diff may never carry an unchanged byte,
+  // because concurrent writers of the same page (false sharing) rely on the
+  // merge touching only bytes they actually wrote. Words are compared first
+  // as a fast scan, then changed words are refined to exact byte runs.
+  const std::size_t words = page_size / sizeof(std::uint64_t);
+  std::uint64_t tw, cw;
+  std::size_t run_begin = page_size; // page_size == "no open run"
+  for (std::size_t w = 0; w < words; ++w) {
+    std::memcpy(&tw, twin + w * 8, 8);
+    std::memcpy(&cw, current + w * 8, 8);
+    if (tw == cw) {
+      if (run_begin != page_size) {
+        put_run(out, run_begin, w * 8 - run_begin, current);
+        run_begin = page_size;
+      }
+      continue;
+    }
+    for (std::size_t b = w * 8; b < w * 8 + 8; ++b) {
+      if (twin[b] != current[b]) {
+        if (run_begin == page_size) run_begin = b;
+      } else if (run_begin != page_size) {
+        put_run(out, run_begin, b - run_begin, current);
+        run_begin = page_size;
+      }
+    }
+  }
+  if (run_begin != page_size)
+    put_run(out, run_begin, page_size - run_begin, current);
+  return out;
+}
+
+void apply_diff(std::span<const std::uint8_t> diff, std::uint8_t* dst) {
+  std::size_t pos = 0;
+  while (pos < diff.size()) {
+    OMSP_CHECK_MSG(pos + sizeof(RunHeader) <= diff.size(),
+                   "truncated diff header");
+    RunHeader h;
+    std::memcpy(&h, diff.data() + pos, sizeof(h));
+    pos += sizeof(h);
+    OMSP_CHECK_MSG(pos + h.length <= diff.size(), "truncated diff run");
+    std::memcpy(dst + h.offset, diff.data() + pos, h.length);
+    pos += h.length;
+  }
+}
+
+std::size_t diff_patch_bytes(std::span<const std::uint8_t> diff) {
+  std::size_t total = 0;
+  std::size_t pos = 0;
+  while (pos < diff.size()) {
+    RunHeader h;
+    OMSP_CHECK(pos + sizeof(h) <= diff.size());
+    std::memcpy(&h, diff.data() + pos, sizeof(h));
+    pos += sizeof(h) + h.length;
+    total += h.length;
+  }
+  OMSP_CHECK(pos == diff.size());
+  return total;
+}
+
+std::size_t diff_run_count(std::span<const std::uint8_t> diff) {
+  std::size_t runs = 0;
+  std::size_t pos = 0;
+  while (pos < diff.size()) {
+    RunHeader h;
+    OMSP_CHECK(pos + sizeof(h) <= diff.size());
+    std::memcpy(&h, diff.data() + pos, sizeof(h));
+    pos += sizeof(h) + h.length;
+    ++runs;
+  }
+  return runs;
+}
+
+} // namespace omsp::tmk

@@ -1,0 +1,42 @@
+// Twin/diff machinery for the multiple-writer protocol.
+//
+// On the first write to a page in an interval the faulting context copies the
+// page to a "twin". A diff is the run-length encoding of the bytes that
+// changed between the twin and the current contents; applying a diff patches
+// only those bytes, which is what lets two contexts modify disjoint parts of
+// the same page concurrently (false sharing) and merge at the next
+// synchronization.
+//
+// Encoding: sequence of runs, each {u16 offset, u16 length, length bytes},
+// comparing at machine-word granularity and then trimming to bytes, which is
+// how TreadMarks keeps diff creation cheap while emitting compact patches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace omsp::tmk {
+
+inline constexpr std::size_t kPageSize = 4096;
+
+using DiffBytes = std::vector<std::uint8_t>;
+
+// Encode the difference (twin -> current) of one page. Returns an empty
+// vector when nothing changed.
+DiffBytes create_diff(const std::uint8_t* twin, const std::uint8_t* current,
+                      std::size_t page_size = kPageSize);
+
+// Patch `dst` with a diff produced by create_diff. `dst` must point at a
+// buffer of at least the page size the diff was created with.
+void apply_diff(std::span<const std::uint8_t> diff, std::uint8_t* dst);
+
+// Number of payload bytes a diff patches (sum of run lengths); used by
+// tests and the stats counters.
+std::size_t diff_patch_bytes(std::span<const std::uint8_t> diff);
+
+// Number of runs in a diff.
+std::size_t diff_run_count(std::span<const std::uint8_t> diff);
+
+} // namespace omsp::tmk

@@ -1,0 +1,45 @@
+// Global SIGSEGV dispatch.
+//
+// TreadMarks detects shared-memory access misses with the VM hardware: an
+// access to an invalid page raises SIGSEGV and the handler runs the
+// consistency protocol. Because this reproduction hosts every context in one
+// Linux process, a single process-wide handler looks up which context's
+// application mapping contains the faulting address and forwards the fault.
+//
+// The registry supports multiple concurrent DSM systems (gtest runs many) and
+// restores default disposition when the last region deregisters, so genuine
+// bugs still crash loudly. Faults outside any registered region re-raise with
+// default disposition.
+#pragma once
+
+#include <cstdint>
+
+namespace omsp::tmk {
+
+class FaultTarget {
+public:
+  virtual ~FaultTarget() = default;
+  // Handle an access miss at `addr`. `is_write` derives from the fault's
+  // error code. Called on the faulting thread, inside the signal handler.
+  virtual void on_fault(void* addr, bool is_write) = 0;
+};
+
+class FaultRegistry {
+public:
+  // Register [base, base+bytes) as belonging to `target`. Installs the
+  // process-wide SIGSEGV handler on first registration.
+  static void add_region(void* base, std::size_t bytes, FaultTarget* target);
+  static void remove_region(void* base);
+
+  // Test hook: number of live regions.
+  static std::size_t region_count();
+
+  // Host CPU microseconds one SIGSEGV-mediated access miss costs outside the
+  // handler (trap + signal delivery + sigreturn + instruction retry),
+  // measured once per process. The virtual clock discounts this per fault so
+  // kernel trap time is not mistaken for (cpu_scale-multiplied) application
+  // compute.
+  static double fault_trap_overhead_us();
+};
+
+} // namespace omsp::tmk

@@ -1,0 +1,78 @@
+// Cross-context pointers into the shared heap.
+//
+// Real TreadMarks maps the shared heap at the same virtual address in every
+// process, so raw pointers travel. Here every context maps its own copy at a
+// distinct base, so the portable pointer is the heap *offset*; GlobalPtr<T>
+// resolves it through the calling thread's bound context base. Worker threads
+// are bound by DsmSystem for their lifetime; the master thread is bound while
+// its DsmSystem exists.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace omsp::tmk {
+
+// Thread-local binding installed by DsmSystem.
+struct ThreadHeapBinding {
+  static std::uint8_t*& base() {
+    thread_local std::uint8_t* tls = nullptr;
+    return tls;
+  }
+
+  class Scope {
+  public:
+    explicit Scope(std::uint8_t* b) : prev_(base()) { base() = b; }
+    ~Scope() { base() = prev_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+  private:
+    std::uint8_t* prev_;
+  };
+};
+
+template <typename T> class GlobalPtr {
+public:
+  GlobalPtr() = default;
+  explicit GlobalPtr(GlobalAddr addr) : addr_(addr) {}
+
+  static GlobalPtr null() { return GlobalPtr(kNullGlobalAddr); }
+  bool is_null() const { return addr_ == kNullGlobalAddr; }
+  explicit operator bool() const { return !is_null(); }
+
+  GlobalAddr addr() const { return addr_; }
+
+  // Resolve in the calling thread's context.
+  T* local() const {
+    OMSP_DCHECK(!is_null());
+    std::uint8_t* base = ThreadHeapBinding::base();
+    OMSP_DCHECK(base != nullptr);
+    return reinterpret_cast<T*>(base + addr_);
+  }
+
+  T& operator*() const { return *local(); }
+  T* operator->() const { return local(); }
+  T& operator[](std::size_t i) const { return local()[i]; }
+
+  GlobalPtr operator+(std::ptrdiff_t n) const {
+    return GlobalPtr(addr_ + static_cast<GlobalAddr>(n * static_cast<std::ptrdiff_t>(sizeof(T))));
+  }
+  GlobalPtr operator-(std::ptrdiff_t n) const { return *this + (-n); }
+  GlobalPtr& operator+=(std::ptrdiff_t n) { return *this = *this + n; }
+
+  // Reinterpret as a pointer to another element type at the same offset.
+  template <typename U> GlobalPtr<U> cast() const {
+    return GlobalPtr<U>(addr_);
+  }
+
+  bool operator==(const GlobalPtr&) const = default;
+
+private:
+  GlobalAddr addr_ = kNullGlobalAddr;
+};
+
+} // namespace omsp::tmk

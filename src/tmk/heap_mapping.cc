@@ -1,0 +1,88 @@
+#include "tmk/heap_mapping.hpp"
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/mathutil.hpp"
+#include "sim/virtual_clock.hpp"
+#include "tmk/diff.hpp"
+
+namespace omsp::tmk {
+
+namespace {
+
+int make_memfd(std::size_t bytes) {
+  int fd = static_cast<int>(::syscall(SYS_memfd_create, "omsp-heap", 0u));
+  OMSP_CHECK_MSG(fd >= 0, "memfd_create failed");
+  OMSP_CHECK_MSG(::ftruncate(fd, static_cast<off_t>(bytes)) == 0,
+                 "ftruncate failed");
+  return fd;
+}
+
+int to_native(Protection p) {
+  switch (p) {
+  case Protection::kNone: return PROT_NONE;
+  case Protection::kRead: return PROT_READ;
+  case Protection::kReadWrite: return PROT_READ | PROT_WRITE;
+  }
+  return PROT_NONE;
+}
+
+} // namespace
+
+HeapMapping::HeapMapping(std::size_t bytes, bool alias, StatsBoard* stats,
+                         const sim::CostModel* cost)
+    : bytes_(round_up(bytes, kHeapPageSize)), stats_(stats), cost_(cost) {
+  OMSP_CHECK(static_cast<std::size_t>(::sysconf(_SC_PAGESIZE)) ==
+             kHeapPageSize);
+  // Both modes are memfd-backed so the runtime can always reach page
+  // contents without relaxing the application mapping's protections; only
+  // the persistent alias mapping is thread-mode-specific (§3.3.1).
+  memfd_ = make_memfd(bytes_);
+  void* app = ::mmap(nullptr, bytes_, PROT_READ, MAP_SHARED, memfd_, 0);
+  OMSP_CHECK_MSG(app != MAP_FAILED, "app mapping failed");
+  app_base_ = static_cast<std::uint8_t*>(app);
+  if (alias) {
+    void* rt =
+        ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, memfd_, 0);
+    OMSP_CHECK_MSG(rt != MAP_FAILED, "alias mapping failed");
+    alias_base_ = static_cast<std::uint8_t*>(rt);
+  }
+}
+
+HeapMapping::~HeapMapping() {
+  if (app_base_ != nullptr) ::munmap(app_base_, bytes_);
+  if (alias_base_ != nullptr) ::munmap(alias_base_, bytes_);
+  if (memfd_ >= 0) ::close(memfd_);
+}
+
+void HeapMapping::snapshot_page(PageId page, std::uint8_t* out) const {
+  OMSP_DCHECK(page < pages());
+  if (alias_base_ != nullptr) {
+    std::memcpy(out, alias_base_ + std::size_t{page} * kHeapPageSize,
+                kHeapPageSize);
+    return;
+  }
+  const off_t offset = static_cast<off_t>(page) * kHeapPageSize;
+  void* window =
+      ::mmap(nullptr, kHeapPageSize, PROT_READ, MAP_SHARED, memfd_, offset);
+  OMSP_CHECK_MSG(window != MAP_FAILED, "snapshot window mmap failed");
+  std::memcpy(out, window, kHeapPageSize);
+  ::munmap(window, kHeapPageSize);
+}
+
+void HeapMapping::protect(PageId page, Protection prot) {
+  OMSP_DCHECK(page < pages());
+  const int rc = ::mprotect(app_page(page), kHeapPageSize, to_native(prot));
+  OMSP_CHECK_MSG(rc == 0, "mprotect failed");
+  if (stats_ != nullptr) stats_->add(Counter::kMprotect);
+  if (auto* clock = sim::VirtualClock::current(); clock != nullptr)
+    clock->charge(cost_->mprotect_us);
+}
+
+} // namespace omsp::tmk

@@ -1,0 +1,456 @@
+#include "tmk/system.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace omsp::tmk {
+
+namespace {
+thread_local Rank t_current_rank = 0;
+
+// Fixed size of a fork descriptor (region function id + argument block
+// header), matching the small Tmk_fork message of §3.2.
+constexpr std::size_t kForkDescriptorBytes = 48;
+constexpr std::size_t kLockRequestBytes = 16;
+constexpr std::size_t kLockGrantHeaderBytes = 16;
+} // namespace
+
+Rank DsmSystem::current_rank() { return t_current_rank; }
+
+DsmSystem::DsmSystem(Config config)
+    : config_(config), allocator_(config.heap_bytes) {
+  config_.validate();
+  const std::uint32_t nc = config_.num_contexts();
+  const std::uint32_t np = config_.topology.nprocs();
+
+  std::vector<NodeId> context_node(nc);
+  for (ContextId c = 0; c < nc; ++c)
+    context_node[c] = config_.node_of_context(c);
+  router_ = std::make_unique<net::Router>(std::move(context_node),
+                                          config_.cost);
+
+  contexts_.reserve(nc);
+  for (ContextId c = 0; c < nc; ++c)
+    contexts_.push_back(std::make_unique<DsmContext>(c, config_, *router_));
+
+  clocks_.reserve(np);
+  for (Rank r = 0; r < np; ++r)
+    clocks_.push_back(
+        std::make_unique<sim::VirtualClock>(config_.cost.cpu_scale));
+
+  fork_start_time_.assign(nc, 0.0);
+  ctx_done_.assign(nc, 0);
+  join_times_.assign(np, 0.0);
+  bar_ctx_arrived_.assign(nc, 0);
+  bar_arrival_vt_.assign(nc, VectorTime(nc));
+  bar_departure_time_.assign(nc, 0.0);
+
+  master_thread_ = std::this_thread::get_id();
+  t_current_rank = 0;
+  master_heap_scope_.emplace(contexts_[0]->heap().app_base());
+  master_clock_scope_.emplace(clocks_[0].get());
+
+  workers_.reserve(np - 1);
+  for (Rank r = 1; r < np; ++r)
+    workers_.emplace_back([this, r] { worker_main(r); });
+}
+
+DsmSystem::~DsmSystem() {
+  {
+    std::lock_guard<std::mutex> lk(fork_mutex_);
+    stop_ = true;
+  }
+  fork_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  master_clock_scope_.reset();
+  master_heap_scope_.reset();
+}
+
+void DsmSystem::worker_main(Rank rank) {
+  const ContextId cid = config_.context_of_rank(rank);
+  ThreadHeapBinding::Scope heap_scope(contexts_[cid]->heap().app_base());
+  sim::VirtualClock::Binder clock_scope(clocks_[rank].get());
+  t_current_rank = rank;
+
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(fork_mutex_);
+      fork_cv_.wait(lk, [&] { return stop_ || fork_gen_ > seen_gen; });
+      if (stop_) return;
+      seen_gen = fork_gen_;
+    }
+    auto& clk = *clocks_[rank];
+    clk.skip_cpu(); // parked time is not compute
+    clk.advance_to(fork_start_time_[cid]);
+    fork_fn_(rank);
+    rank_epilogue(rank);
+  }
+}
+
+void DsmSystem::rank_epilogue(Rank rank) {
+  sim::RuntimeSection rs;
+  const ContextId cid = config_.context_of_rank(rank);
+  std::lock_guard<std::mutex> lk(join_mutex_);
+  join_times_[rank] = clocks_[rank]->now_us();
+  if (++ctx_done_[cid] == config_.threads_per_context()) {
+    contexts_[cid]->close_interval(); // slave-side release of Tmk_join
+    if (++contexts_done_ == config_.num_contexts()) {
+      join_ready_ = true;
+      join_cv_.notify_all();
+    }
+  }
+}
+
+void DsmSystem::parallel(const std::function<void(Rank)>& fn) {
+  OMSP_CHECK_MSG(std::this_thread::get_id() == master_thread_,
+                 "parallel() must be called from the master thread");
+  OMSP_CHECK_MSG(!in_parallel_, "DsmSystem::parallel does not nest");
+  in_parallel_ = true;
+
+  auto& mclk = *clocks_[0];
+  mclk.sync_cpu(); // sequential-section compute accrues to the master
+
+  // --- Tmk_fork: master release, slaves acquire ------------------------------
+  contexts_[0]->close_interval();
+  {
+    std::lock_guard<std::mutex> lk(join_mutex_);
+    std::fill(ctx_done_.begin(), ctx_done_.end(), 0);
+    contexts_done_ = 0;
+    join_ready_ = false;
+  }
+  const double mnow = mclk.now_us();
+  fork_start_time_[0] = mnow;
+  for (ContextId c = 1; c < config_.num_contexts(); ++c) {
+    auto recs = contexts_[0]->records_unknown_to(contexts_[c]->vt_snapshot());
+    const std::size_t bytes = kForkDescriptorBytes + records_wire_size(recs);
+    const double cost = router_->account_message(0, c, bytes);
+    router_->stats(0).add(Counter::kWriteNoticesSent,
+                          records_notice_count(recs));
+    contexts_[c]->apply_records(recs);
+    fork_start_time_[c] = mnow + cost;
+  }
+  {
+    std::lock_guard<std::mutex> lk(fork_mutex_);
+    fork_fn_ = fn;
+    ++fork_gen_;
+  }
+  fork_cv_.notify_all();
+
+  // The master is part of the team: run rank 0's share with app compute
+  // charged to the master clock.
+  mclk.skip_cpu(); // fork bookkeeping is runtime, not app compute
+  fn(0);
+  rank_epilogue(0);
+
+  // --- Tmk_join: slaves release, master acquires -----------------------------
+  {
+    std::unique_lock<std::mutex> lk(join_mutex_);
+    join_cv_.wait(lk, [&] { return join_ready_; });
+  }
+  mclk.sync_cpu();
+  for (ContextId c = 1; c < config_.num_contexts(); ++c) {
+    auto recs = contexts_[c]->records_unknown_to(contexts_[0]->vt_snapshot());
+    const std::size_t bytes = kForkDescriptorBytes + records_wire_size(recs);
+    const double cost = router_->account_message(c, 0, bytes);
+    router_->stats(c).add(Counter::kWriteNoticesSent,
+                          records_notice_count(recs));
+    contexts_[0]->apply_records(recs);
+    // Master resumes after the last join message arrives.
+    for (Rank r = 0; r < nprocs(); ++r)
+      if (config_.context_of_rank(r) == c)
+        mclk.advance_to(join_times_[r] + cost);
+  }
+  for (Rank r = 0; r < nprocs(); ++r)
+    if (config_.context_of_rank(r) == 0) mclk.advance_to(join_times_[r]);
+  mclk.skip_cpu();
+
+  in_parallel_ = false;
+}
+
+void DsmSystem::barrier() {
+  const Rank rank = current_rank();
+  const ContextId cid = config_.context_of_rank(rank);
+  auto& clk = *clocks_[rank];
+  clk.sync_cpu();
+
+  std::unique_lock<std::mutex> lk(bar_mutex_);
+  const std::uint64_t mygen = bar_generation_;
+
+  double arrival_cost = 0;
+  if (++bar_ctx_arrived_[cid] == config_.threads_per_context()) {
+    // Context-level release: the last thread of the node closes the interval
+    // and sends the arrival message to the manager (context 0). The arrival
+    // carries every record the manager lacks — not only this context's own:
+    // a lock grant can close a third context's interval after that context
+    // already arrived (the grant runs on the acquirer's thread), and then
+    // only later arrivers know about it.
+    contexts_[cid]->close_interval();
+    auto recs =
+        contexts_[cid]->records_unknown_to(contexts_[0]->vt_snapshot());
+    bar_arrival_vt_[cid] = contexts_[cid]->vt_snapshot();
+    if (cid != 0) {
+      const std::size_t bytes = vt_wire_size() + records_wire_size(recs);
+      arrival_cost = router_->account_message(cid, 0, bytes);
+      router_->stats(cid).add(Counter::kWriteNoticesSent,
+                              records_notice_count(recs));
+      bar_pending_arrivals_.insert(bar_pending_arrivals_.end(),
+                                   std::make_move_iterator(recs.begin()),
+                                   std::make_move_iterator(recs.end()));
+    }
+    router_->stats(cid).add(Counter::kBarriers);
+  }
+  bar_max_arrival_ = std::max(bar_max_arrival_, clk.now_us() + arrival_cost);
+
+  if (++bar_arrived_ == nprocs()) {
+    // Last arrival: perform the manager's work on this thread.
+    contexts_[0]->apply_records(bar_pending_arrivals_);
+    bar_pending_arrivals_.clear();
+    const double depart =
+        bar_max_arrival_ + config_.cost.barrier_service_us;
+    bar_departure_time_[0] = depart;
+    for (ContextId c = 1; c < config_.num_contexts(); ++c) {
+      auto recs = contexts_[0]->records_unknown_to(bar_arrival_vt_[c]);
+      const std::size_t bytes = vt_wire_size() + records_wire_size(recs);
+      const double cost = router_->account_message(0, c, bytes);
+      router_->stats(0).add(Counter::kWriteNoticesSent,
+                            records_notice_count(recs));
+      contexts_[c]->apply_records(recs);
+      bar_departure_time_[c] = depart + cost;
+    }
+    maybe_collect_garbage();
+    std::fill(bar_ctx_arrived_.begin(), bar_ctx_arrived_.end(), 0);
+    bar_arrived_ = 0;
+    bar_max_arrival_ = 0;
+    ++bar_generation_;
+    bar_cv_.notify_all();
+  } else {
+    bar_cv_.wait(lk, [&] { return bar_generation_ != mygen; });
+  }
+  clk.advance_to(bar_departure_time_[cid]);
+  clk.skip_cpu();
+}
+
+double DsmSystem::grant_lock(LockState& st, ContextId to_ctx, Rank to_rank) {
+  const ContextId from = st.cached_at;
+  OMSP_CHECK(from != to_ctx);
+  // Releaser-side: close the interval so writes made under the lock become
+  // notices, then piggyback every record the acquirer lacks on the grant.
+  contexts_[from]->close_interval();
+  auto recs = contexts_[from]->records_unknown_to(
+      contexts_[to_ctx]->vt_snapshot());
+  const std::size_t bytes = kLockGrantHeaderBytes + records_wire_size(recs);
+  const double cost = router_->account_message(from, to_ctx, bytes);
+  router_->stats(from).add(Counter::kWriteNoticesSent,
+                           records_notice_count(recs));
+  contexts_[to_ctx]->apply_records(recs);
+
+  st.held = true;
+  st.holder_ctx = to_ctx;
+  st.holder_rank = to_rank;
+  st.cached_at = to_ctx;
+  return std::max(st.release_time, 0.0) + cost;
+}
+
+void DsmSystem::lock_acquire(LockId l) {
+  const Rank rank = current_rank();
+  const ContextId cid = config_.context_of_rank(rank);
+  auto& clk = *clocks_[rank];
+  clk.sync_cpu();
+  router_->stats(cid).add(Counter::kLockAcquires);
+
+  std::unique_lock<std::mutex> lk(locks_mutex_);
+  LockState& st = locks_[l];
+  if (!st.initialized) {
+    st.initialized = true;
+    st.cached_at = l % config_.num_contexts(); // static manager owns it first
+  }
+
+  if (!st.held && st.cached_at == cid) {
+    // Intra-node reacquire: hardware coherence, no messages (§3.3.1).
+    st.held = true;
+    st.holder_ctx = cid;
+    st.holder_rank = rank;
+    clk.advance_to(st.release_time);
+    clk.skip_cpu();
+    return;
+  }
+
+  router_->stats(cid).add(Counter::kLockRemoteAcquires);
+  const ContextId manager = l % config_.num_contexts();
+  if (cid != manager) {
+    clk.charge(router_->account_message(cid, manager, kLockRequestBytes +
+                                                          vt_wire_size()));
+  }
+  clk.charge(config_.cost.lock_service_us);
+  if (manager != st.cached_at) {
+    // Manager forwards the request to the last holder.
+    clk.charge(router_->account_message(manager, st.cached_at,
+                                        kLockRequestBytes + vt_wire_size()));
+  }
+
+  if (!st.held) {
+    const double grant_time = grant_lock(st, cid, rank);
+    clk.advance_to(grant_time);
+    clk.skip_cpu();
+    return;
+  }
+
+  LockWaiter waiter{rank, cid, false, 0.0};
+  st.queue.push_back(&waiter);
+  locks_cv_.wait(lk, [&] { return waiter.granted; });
+  clk.advance_to(waiter.grant_time);
+  clk.skip_cpu();
+}
+
+bool DsmSystem::lock_try_acquire(LockId l) {
+  const Rank rank = current_rank();
+  const ContextId cid = config_.context_of_rank(rank);
+  auto& clk = *clocks_[rank];
+  clk.sync_cpu();
+
+  std::unique_lock<std::mutex> lk(locks_mutex_);
+  LockState& st = locks_[l];
+  if (!st.initialized) {
+    st.initialized = true;
+    st.cached_at = l % config_.num_contexts();
+  }
+  if (st.held) {
+    // A real implementation asks the manager and gets "busy" back; charge
+    // that round trip unless the manager is local.
+    const ContextId manager = l % config_.num_contexts();
+    if (cid != manager)
+      clk.charge(2 * router_->account_message(cid, manager, kLockRequestBytes));
+    clk.skip_cpu();
+    return false;
+  }
+  router_->stats(cid).add(Counter::kLockAcquires);
+  if (st.cached_at == cid) {
+    st.held = true;
+    st.holder_ctx = cid;
+    st.holder_rank = rank;
+    clk.advance_to(st.release_time);
+  } else {
+    router_->stats(cid).add(Counter::kLockRemoteAcquires);
+    const ContextId manager = l % config_.num_contexts();
+    if (cid != manager)
+      clk.charge(router_->account_message(cid, manager,
+                                          kLockRequestBytes + vt_wire_size()));
+    clk.charge(config_.cost.lock_service_us);
+    if (manager != st.cached_at)
+      clk.charge(router_->account_message(manager, st.cached_at,
+                                          kLockRequestBytes + vt_wire_size()));
+    clk.advance_to(grant_lock(st, cid, rank));
+  }
+  clk.skip_cpu();
+  return true;
+}
+
+void DsmSystem::lock_release(LockId l) {
+  const Rank rank = current_rank();
+  const ContextId cid = config_.context_of_rank(rank);
+  auto& clk = *clocks_[rank];
+  clk.sync_cpu();
+
+  std::unique_lock<std::mutex> lk(locks_mutex_);
+  auto it = locks_.find(l);
+  OMSP_CHECK_MSG(it != locks_.end() && it->second.held,
+                 "release of a lock that is not held");
+  LockState& st = it->second;
+  OMSP_CHECK_MSG(st.holder_rank == rank && st.holder_ctx == cid,
+                 "lock released by a thread that does not hold it");
+
+  st.release_time = clk.now_us();
+  if (st.queue.empty()) {
+    st.held = false;
+    clk.skip_cpu();
+    return;
+  }
+  LockWaiter* w = st.queue.front();
+  st.queue.pop_front();
+  if (w->ctx == cid) {
+    // Intra-node handoff: hardware shared memory, no protocol action.
+    st.holder_ctx = w->ctx;
+    st.holder_rank = w->rank;
+    w->grant_time = clk.now_us();
+  } else {
+    w->grant_time = grant_lock(st, w->ctx, w->rank);
+  }
+  w->granted = true;
+  locks_cv_.notify_all();
+  clk.skip_cpu();
+}
+
+void DsmSystem::maybe_collect_garbage() {
+  // Runs on the barrier manager's thread while every worker is parked at the
+  // barrier, so direct cross-context calls are safe.
+  if (config_.gc_threshold_bytes == 0) return;
+  std::size_t stored = 0;
+  for (auto& c : contexts_) stored += c->stored_diff_bytes();
+  if (stored <= config_.gc_threshold_bytes) return;
+
+  const std::uint32_t nc = config_.num_contexts();
+  // Fixpoint: validating a page can flush a twin at its creator, which mints
+  // a new interval other contexts then need. Each pass consumes twins and
+  // never creates new application writes (all threads are parked), so the
+  // loop reaches quiescence quickly.
+  for (int pass = 0; pass < 16; ++pass) {
+    // Pull every record into context 0, then push the union to everyone.
+    for (ContextId c = 1; c < nc; ++c) {
+      auto recs = contexts_[c]->records_unknown_to(contexts_[0]->vt_snapshot());
+      router_->account_message(c, 0, records_wire_size(recs));
+      contexts_[0]->apply_records(recs);
+    }
+    for (ContextId c = 1; c < nc; ++c) {
+      auto recs = contexts_[0]->records_unknown_to(contexts_[c]->vt_snapshot());
+      router_->account_message(0, c, records_wire_size(recs));
+      contexts_[c]->apply_records(recs);
+    }
+    std::uint64_t seq_sum_before = 0;
+    for (ContextId c = 0; c < nc; ++c)
+      seq_sum_before += contexts_[c]->own_seq();
+    for (ContextId c = 0; c < nc; ++c) contexts_[c]->validate_all_pages();
+    std::uint64_t seq_sum_after = 0;
+    for (ContextId c = 0; c < nc; ++c)
+      seq_sum_after += contexts_[c]->own_seq();
+    if (seq_sum_after == seq_sum_before) break;
+  }
+  // One final exchange so every vector time is identical, then drop the
+  // consistency history everywhere.
+  for (ContextId c = 1; c < nc; ++c) {
+    auto recs = contexts_[c]->records_unknown_to(contexts_[0]->vt_snapshot());
+    contexts_[0]->apply_records(recs);
+  }
+  const VectorTime everything = contexts_[0]->vt_snapshot();
+  for (ContextId c = 1; c < nc; ++c) {
+    auto recs = contexts_[0]->records_unknown_to(contexts_[c]->vt_snapshot());
+    contexts_[c]->apply_records(recs);
+    OMSP_CHECK_MSG(contexts_[c]->vt_snapshot() == everything,
+                   "GC requires identical vector times");
+  }
+  for (ContextId c = 0; c < nc; ++c) contexts_[c]->collect_garbage();
+}
+
+GlobalAddr DsmSystem::shared_malloc(std::size_t bytes, std::size_t align) {
+  OMSP_CHECK_MSG(!in_parallel_,
+                 "shared_malloc must be called from sequential sections");
+  OMSP_CHECK_MSG(std::this_thread::get_id() == master_thread_,
+                 "shared_malloc is master-only");
+  const GlobalAddr addr = allocator_.allocate(bytes, align);
+  OMSP_CHECK_MSG(addr != kNullGlobalAddr, "shared heap exhausted");
+  return addr;
+}
+
+void DsmSystem::shared_free(GlobalAddr addr) {
+  OMSP_CHECK_MSG(!in_parallel_,
+                 "shared_free must be called from sequential sections");
+  allocator_.free(addr);
+}
+
+double DsmSystem::master_time_us() {
+  clocks_[0]->sync_cpu();
+  return clocks_[0]->now_us();
+}
+
+} // namespace omsp::tmk

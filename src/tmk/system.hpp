@@ -1,0 +1,176 @@
+// DsmSystem — a whole TreadMarks cluster in one object.
+//
+// Owns the router, the DSM contexts (one per node in thread mode, one per
+// processor in process mode), the worker-thread pool that implements
+// Tmk_fork/Tmk_join (§3.2: all threads are created at startup; slaves block
+// between forks), the centralized barrier manager, the distributed lock
+// table, the shared-heap allocator and the per-rank virtual clocks.
+//
+// Usage (mirrors what the OpenMP translator emits):
+//
+//   tmk::Config cfg;              // 4 nodes x 4 procs, thread mode
+//   tmk::DsmSystem dsm(cfg);
+//   auto data = dsm.alloc<double>(n);       // master allocates shared data
+//   dsm.parallel([&](Rank r) {              // Tmk_fork .. Tmk_join
+//     ... data[i] = ...;                    // plain loads/stores; the VM
+//     dsm.barrier();                        //   protocol keeps them coherent
+//   });
+//   double t = dsm.master_time_us();        // simulated elapsed time
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "net/router.hpp"
+#include "sim/virtual_clock.hpp"
+#include "tmk/config.hpp"
+#include "tmk/context.hpp"
+#include "tmk/global_ptr.hpp"
+#include "tmk/heap_alloc.hpp"
+
+namespace omsp::tmk {
+
+class DsmSystem {
+public:
+  explicit DsmSystem(Config config);
+  ~DsmSystem();
+
+  DsmSystem(const DsmSystem&) = delete;
+  DsmSystem& operator=(const DsmSystem&) = delete;
+
+  const Config& config() const { return config_; }
+  net::Router& router() { return *router_; }
+  DsmContext& context(ContextId c) { return *contexts_[c]; }
+  std::uint32_t nprocs() const { return config_.topology.nprocs(); }
+  std::uint32_t num_contexts() const { return config_.num_contexts(); }
+
+  // --- fork / join -----------------------------------------------------------
+  // Run fn(rank) on every rank (the calling master thread runs rank 0).
+  // Implements Tmk_fork (master release + slave acquire, with a fork
+  // descriptor message per remote context) and Tmk_join (slave release +
+  // master acquire). Must be called from the thread that constructed the
+  // system; nesting is rejected (OpenMP 1.0 serializes nested parallelism at
+  // the layer above).
+  void parallel(const std::function<void(Rank)>& fn);
+  bool in_parallel() const { return in_parallel_; }
+
+  // --- synchronization (call from inside parallel regions) ------------------
+  void barrier();
+  void lock_acquire(LockId l);
+  // Non-blocking acquire: returns false immediately when the lock is held.
+  bool lock_try_acquire(LockId l);
+  void lock_release(LockId l);
+
+  // --- shared heap (master only, outside parallel regions) ------------------
+  GlobalAddr shared_malloc(std::size_t bytes, std::size_t align = 16);
+  void shared_free(GlobalAddr addr);
+
+  template <typename T>
+  GlobalPtr<T> alloc(std::size_t count = 1, std::size_t align = alignof(T)) {
+    return GlobalPtr<T>(shared_malloc(sizeof(T) * count, align));
+  }
+  // Page-aligned variant: the paper's applications lay out per-thread data on
+  // page boundaries to limit false sharing.
+  template <typename T> GlobalPtr<T> alloc_page_aligned(std::size_t count = 1) {
+    return GlobalPtr<T>(shared_malloc(sizeof(T) * count, kPageSize));
+  }
+
+  HeapAllocator& allocator() { return allocator_; }
+
+  // --- identity / time / stats ----------------------------------------------
+  static Rank current_rank();
+  sim::VirtualClock& clock(Rank r) { return *clocks_[r]; }
+  // Simulated time on the master's clock (the program's elapsed time).
+  double master_time_us();
+  StatsSnapshot stats() const { return router_->snapshot(); }
+  StatsBoard& context_stats(ContextId c) { return router_->stats(c); }
+  void reset_stats() { router_->reset_stats(); }
+
+private:
+  struct LockWaiter {
+    Rank rank;
+    ContextId ctx;
+    bool granted = false;
+    double grant_time = 0;
+  };
+
+  struct LockState {
+    bool initialized = false;
+    bool held = false;
+    ContextId holder_ctx = 0;
+    Rank holder_rank = 0;
+    ContextId cached_at = 0; // context owning the token (last holder)
+    double release_time = 0;
+    std::deque<LockWaiter*> queue;
+  };
+
+  void worker_main(Rank rank);
+  void rank_epilogue(Rank rank);
+  // TreadMarks-style GC, run by the barrier manager when stored diffs exceed
+  // the configured threshold: validate everything, then drop history.
+  void maybe_collect_garbage();
+  // Transfer lock `st` from st.cached_at to (to_ctx,to_rank); computes the
+  // grant time. locks_mutex_ held.
+  double grant_lock(LockState& st, ContextId to_ctx, Rank to_rank);
+
+  std::size_t vt_wire_size() const {
+    return 4 + std::size_t{config_.num_contexts()} * sizeof(IntervalSeq);
+  }
+
+  Config config_;
+  std::unique_ptr<net::Router> router_;
+  std::vector<std::unique_ptr<DsmContext>> contexts_;
+  std::vector<std::unique_ptr<sim::VirtualClock>> clocks_;
+
+  // Allocator (master-only access by contract).
+  HeapAllocator allocator_;
+
+  // Fork/join machinery.
+  std::mutex fork_mutex_;
+  std::condition_variable fork_cv_;
+  std::uint64_t fork_gen_ = 0;
+  bool stop_ = false;
+  std::function<void(Rank)> fork_fn_;
+  std::vector<double> fork_start_time_; // per context
+
+  std::mutex join_mutex_;
+  std::condition_variable join_cv_;
+  std::vector<std::uint32_t> ctx_done_;
+  std::uint32_t contexts_done_ = 0;
+  bool join_ready_ = false;
+  std::vector<double> join_times_; // per rank
+
+  bool in_parallel_ = false;
+  std::thread::id master_thread_;
+
+  // Barrier machinery (centralized manager at context 0, §3.1.2).
+  std::mutex bar_mutex_;
+  std::condition_variable bar_cv_;
+  std::uint64_t bar_generation_ = 0;
+  std::uint32_t bar_arrived_ = 0;
+  std::vector<std::uint32_t> bar_ctx_arrived_;
+  std::vector<VectorTime> bar_arrival_vt_;
+  std::vector<IntervalRecord> bar_pending_arrivals_;
+  std::vector<double> bar_departure_time_; // per context
+  double bar_max_arrival_ = 0;
+
+  // Lock table.
+  std::mutex locks_mutex_;
+  std::condition_variable locks_cv_;
+  std::unordered_map<LockId, LockState> locks_;
+
+  std::vector<std::thread> workers_;
+  std::optional<ThreadHeapBinding::Scope> master_heap_scope_;
+  std::optional<sim::VirtualClock::Binder> master_clock_scope_;
+};
+
+} // namespace omsp::tmk

@@ -1,0 +1,94 @@
+// The classic TreadMarks C-style API (Tmk_*), as described in §3 of the
+// paper and the TreadMarks manual. Programs written against real TreadMarks
+// port to this facade with a rename of the header; underneath it drives a
+// DsmSystem. The handle-based design (rather than true globals) keeps the
+// facade usable from tests that create many clusters.
+//
+//   Tmk tmk(config);
+//   tmk.startup();
+//   char* arr = (char*)tmk.malloc(4096);
+//   tmk.fork([&](unsigned proc_id) {       // Tmk_fork / Tmk_join pair
+//     ... arr[...] ...
+//     tmk.barrier(0);                       // Tmk_barrier
+//     tmk.lock_acquire(3);                  // Tmk_lock_acquire
+//     tmk.lock_release(3);
+//   });
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "tmk/system.hpp"
+
+namespace omsp::tmk {
+
+class Tmk {
+public:
+  explicit Tmk(Config config) : config_(std::move(config)) {}
+
+  // Tmk_startup: creates the cluster (all threads start now and slaves block
+  // until the first fork, §3.2).
+  void startup() {
+    OMSP_CHECK_MSG(system_ == nullptr, "Tmk_startup called twice");
+    system_ = std::make_unique<DsmSystem>(config_);
+  }
+
+  // Tmk_exit.
+  void exit() { system_.reset(); }
+
+  bool started() const { return system_ != nullptr; }
+
+  // Tmk_nprocs / Tmk_proc_id. proc_id is meaningful inside fork bodies.
+  unsigned nprocs() const { return require().nprocs(); }
+  static unsigned proc_id() { return DsmSystem::current_rank(); }
+
+  // Tmk_malloc / Tmk_free: shared heap, master only, outside parallel
+  // sections. Returns a pointer valid in the caller's context; use
+  // global_addr()/from_global() to ship addresses across contexts.
+  void* malloc(std::size_t bytes) {
+    const GlobalAddr addr = require().shared_malloc(bytes, 16);
+    return ThreadHeapBinding::base() + addr;
+  }
+  void free(void* ptr) { require().shared_free(global_addr(ptr)); }
+
+  // Tmk_distribute's moral equivalent: translate a pointer into the
+  // context-independent shared address and back.
+  GlobalAddr global_addr(const void* ptr) const {
+    return static_cast<GlobalAddr>(static_cast<const std::uint8_t*>(ptr) -
+                                   ThreadHeapBinding::base());
+  }
+  template <typename T> T* from_global(GlobalAddr addr) const {
+    return reinterpret_cast<T*>(ThreadHeapBinding::base() + addr);
+  }
+
+  // Tmk_fork + Tmk_join in one call: run fn(proc_id) on every processor and
+  // wait for completion (the OpenMP-style usage of §3.2).
+  void fork(const std::function<void(unsigned)>& fn) {
+    require().parallel([&](Rank r) { fn(r); });
+  }
+
+  // Tmk_barrier(id). TreadMarks numbers its barriers; consistency-wise they
+  // all behave identically here (one centralized manager).
+  void barrier(unsigned id = 0) {
+    (void)id;
+    require().barrier();
+  }
+
+  // Tmk_lock_acquire / Tmk_lock_release.
+  void lock_acquire(unsigned lock_id) { require().lock_acquire(lock_id); }
+  void lock_release(unsigned lock_id) { require().lock_release(lock_id); }
+
+  // Escape hatch to the full interface (stats, clocks, contexts).
+  DsmSystem& system() { return require(); }
+
+private:
+  DsmSystem& require() const {
+    OMSP_CHECK_MSG(system_ != nullptr, "call Tmk_startup first");
+    return *system_;
+  }
+
+  Config config_;
+  std::unique_ptr<DsmSystem> system_;
+};
+
+} // namespace omsp::tmk

@@ -1,0 +1,75 @@
+// Vector timestamps over per-context interval sequence numbers.
+//
+// vt[c] = number of intervals of context c whose write notices this context
+// has incorporated. Interval seq numbers start at 1; vt[c] == s means
+// intervals 1..s of c are known.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+
+namespace omsp::tmk {
+
+class VectorTime {
+public:
+  VectorTime() = default;
+  explicit VectorTime(std::uint32_t ncontexts) : v_(ncontexts, 0) {}
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(v_.size()); }
+
+  IntervalSeq operator[](ContextId c) const {
+    OMSP_DCHECK(c < v_.size());
+    return v_[c];
+  }
+  IntervalSeq& operator[](ContextId c) {
+    OMSP_DCHECK(c < v_.size());
+    return v_[c];
+  }
+
+  // True if this timestamp already covers interval (c, seq).
+  bool covers(ContextId c, IntervalSeq seq) const { return (*this)[c] >= seq; }
+
+  // True if this covers every component of other (other happened-before or
+  // equals this).
+  bool covers(const VectorTime& other) const {
+    OMSP_DCHECK(other.size() == size());
+    for (std::uint32_t i = 0; i < size(); ++i)
+      if (v_[i] < other.v_[i]) return false;
+    return true;
+  }
+
+  void merge(const VectorTime& other) {
+    OMSP_DCHECK(other.size() == size());
+    for (std::uint32_t i = 0; i < size(); ++i)
+      if (other.v_[i] > v_[i]) v_[i] = other.v_[i];
+  }
+
+  // Scalar that linearizes the happens-before partial order: if a <= b
+  // componentwise and a != b then sum(a) < sum(b). Used to apply diffs in a
+  // causally consistent order.
+  std::uint64_t sum() const {
+    std::uint64_t s = 0;
+    for (auto x : v_) s += x;
+    return s;
+  }
+
+  void serialize(ByteWriter& w) const {
+    w.put_span<IntervalSeq>({v_.data(), v_.size()});
+  }
+  static VectorTime deserialize(ByteReader& r) {
+    VectorTime vt;
+    vt.v_ = r.get_span<IntervalSeq>();
+    return vt;
+  }
+
+  bool operator==(const VectorTime&) const = default;
+
+private:
+  std::vector<IntervalSeq> v_;
+};
+
+} // namespace omsp::tmk

@@ -1,0 +1,327 @@
+#include "translate/codegen.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "translate/directive.hpp"
+#include "translate/source.hpp"
+
+namespace omsp::translate {
+
+namespace {
+
+struct Ctx {
+  const std::string& src;
+  const std::string& rt;
+  std::string error;
+  int depth = 0; // nesting of parallel regions (team variable scoping)
+};
+
+std::string team_var(int depth) {
+  return depth == 0 ? "omsp_team" : "omsp_team" + std::to_string(depth);
+}
+
+// Emit declarations for private / firstprivate variables at the top of an
+// outlined region body.
+void emit_data_env(std::ostringstream& out, const Directive& d) {
+  for (const auto& v : d.private_vars)
+    out << "auto " << v << " = decltype(" << v << "){}; (void)" << v << ";\n";
+  // firstprivate: handled via init-capture at the lambda, nothing here.
+}
+
+std::string schedule_expr(const Directive& d) {
+  switch (d.schedule) {
+  case ScheduleKind::kDefault:
+  case ScheduleKind::kStatic:
+    if (!d.schedule_chunk.empty())
+      return "omsp::core::Schedule::static_chunked(" + d.schedule_chunk + ")";
+    return "omsp::core::Schedule::static_block()";
+  case ScheduleKind::kDynamic:
+    return "omsp::core::Schedule::dynamic(" +
+           (d.schedule_chunk.empty() ? std::string("1") : d.schedule_chunk) +
+           ")";
+  case ScheduleKind::kGuided:
+    return "omsp::core::Schedule::guided(" +
+           (d.schedule_chunk.empty() ? std::string("1") : d.schedule_chunk) +
+           ")";
+  case ScheduleKind::kRuntime:
+    // Resolved from OMP_SCHEDULE at runtime-construction time.
+    return "omsp_rt().runtime_schedule()";
+  }
+  return "omsp::core::Schedule::static_block()";
+}
+
+std::string capture_list(const Directive& d) {
+  std::string cap = "&";
+  for (const auto& v : d.firstprivate_vars) cap += ", " + v + " = " + v;
+  return cap;
+}
+
+// Forward declaration: translates src[begin,end) appending to out.
+bool translate_range(Ctx& ctx, std::size_t begin, std::size_t end,
+                     std::ostringstream& out);
+
+// Translate the body of a worksharing for directive.
+bool emit_for(Ctx& ctx, const Directive& d, std::size_t for_pos,
+              std::size_t stmt_end, std::ostringstream& out,
+              const std::string& team) {
+  std::string err;
+  auto fh = parse_for_header(ctx.src, for_pos, &err);
+  if (!fh) {
+    ctx.error = err;
+    return false;
+  }
+  // Reduction support: redeclare each reduction var locally, combine after.
+  std::ostringstream pre, post;
+  for (const auto& red : d.reductions) {
+    for (const auto& v : red.vars) {
+      pre << "auto omsp_red_" << v << " = decltype(" << v << "){"
+          << "};\n";
+      // reduce() returns the combined value on every thread; exactly one
+      // thread folds it into the shared variable (OpenMP semantics: the
+      // reduction result combines with the variable's prior contents), and a
+      // barrier orders the update before any subsequent reads.
+      post << "{ auto omsp_redval_" << v << " = " << team << ".reduce(omsp_red_"
+           << v << ", [](auto a, auto b) { return "
+           << reduction_combine_expr(red.op) << "; });\n";
+      post << "if (" << team << ".thread_num() == 0) " << v
+           << " = omsp_redval_" << v << " ";
+      switch (red.op) {
+      case ReductionOp::kSum: post << "+ " << v; break;
+      case ReductionOp::kProd: post << "* " << v; break;
+      default: break; // min/max/logical: prior value participates via init
+      }
+      post << ";\n" << team << ".barrier(); }\n";
+    }
+  }
+
+  out << "{\n" << pre.str();
+  emit_data_env(out, d);
+  out << team << ".for_loop" << (d.nowait ? "_nowait" : "") << "(("
+      << "std::int64_t)(" << fh->lo << "), (std::int64_t)(" << fh->hi
+      << "), " << schedule_expr(d) << ", [" << capture_list(d)
+      << "](std::int64_t " << fh->var << ") {\n";
+  // Rewrite reduction accumulations: the body refers to the shared name; the
+  // local accumulator must be used instead.
+  const auto body_end = statement_end(ctx.src, fh->body_pos);
+  if (!body_end) {
+    ctx.error = "cannot find loop body extent";
+    return false;
+  }
+  std::string body = ctx.src.substr(fh->body_pos, *body_end - fh->body_pos);
+  for (const auto& red : d.reductions)
+    for (const auto& v : red.vars) {
+      // Textual substitution of the reduction variable (whole identifiers).
+      std::string replaced;
+      for (std::size_t i = 0; i < body.size();) {
+        if (body.compare(i, v.size(), v) == 0 &&
+            (i == 0 || (!std::isalnum(static_cast<unsigned char>(body[i - 1])) &&
+                        body[i - 1] != '_')) &&
+            (i + v.size() >= body.size() ||
+             (!std::isalnum(static_cast<unsigned char>(body[i + v.size()])) &&
+              body[i + v.size()] != '_'))) {
+          replaced += "omsp_red_" + v;
+          i += v.size();
+        } else {
+          replaced += body[i++];
+        }
+      }
+      body = replaced;
+    }
+  out << body << "\n});\n" << post.str() << "}\n";
+  (void)stmt_end;
+  return true;
+}
+
+// Handle one "#pragma omp ..." at `pragma_pos`; sets *next to the position
+// after the construct.
+bool emit_directive(Ctx& ctx, std::size_t pragma_pos, std::size_t line_end,
+                    std::size_t* next, std::ostringstream& out) {
+  const std::size_t text_pos = ctx.src.find("omp", pragma_pos) + 3;
+  const std::string text = ctx.src.substr(text_pos, line_end - text_pos);
+  std::string err;
+  auto d = parse_directive(text, &err);
+  if (!d) {
+    ctx.error = err;
+    return false;
+  }
+  std::size_t stmt_begin = skip_blank(ctx.src, line_end);
+
+  const std::string team = team_var(ctx.depth > 0 ? ctx.depth - 1 : 0);
+  switch (d->kind) {
+  case DirectiveKind::kBarrier:
+    out << team << ".barrier();\n";
+    *next = stmt_begin;
+    return true;
+  case DirectiveKind::kThreadPrivate:
+    // Lowered by the programmer via omsp::core::ThreadPrivate<T>; emit a
+    // marker comment (the declaration itself stays).
+    out << "/* omsp: threadprivate(";
+    for (const auto& v : d->threadprivate_vars) out << v << " ";
+    out << ") — use omsp::core::ThreadPrivate<T> */\n";
+    *next = stmt_begin;
+    return true;
+  default:
+    break;
+  }
+
+  const auto stmt_stop = statement_end(ctx.src, stmt_begin);
+  if (!stmt_stop) {
+    ctx.error = "cannot find statement following directive";
+    return false;
+  }
+
+  switch (d->kind) {
+  case DirectiveKind::kParallel: {
+    out << ctx.rt << ".parallel([" << capture_list(*d) << "](omsp::core::Team& "
+        << team_var(ctx.depth) << ") {\n";
+    emit_data_env(out, *d);
+    ++ctx.depth;
+    const bool ok = translate_range(ctx, stmt_begin, *stmt_stop, out);
+    --ctx.depth;
+    if (!ok) return false;
+    out << "}" << (d->num_threads.empty() ? "" : ", " + d->num_threads)
+        << ");\n";
+    break;
+  }
+  case DirectiveKind::kParallelFor: {
+    out << ctx.rt << ".parallel([" << capture_list(*d) << "](omsp::core::Team& "
+        << team_var(ctx.depth) << ") {\n";
+    emit_data_env(out, *d);
+    ++ctx.depth;
+    const bool ok = emit_for(ctx, *d, stmt_begin, *stmt_stop, out,
+                             team_var(ctx.depth - 1));
+    --ctx.depth;
+    if (!ok) return false;
+    out << "}" << (d->num_threads.empty() ? "" : ", " + d->num_threads)
+        << ");\n";
+    break;
+  }
+  case DirectiveKind::kFor:
+    if (ctx.depth == 0) {
+      ctx.error = "#pragma omp for outside a parallel region";
+      return false;
+    }
+    if (!emit_for(ctx, *d, stmt_begin, *stmt_stop, out, team)) return false;
+    break;
+  case DirectiveKind::kCritical:
+    out << team << ".critical(\"" << d->critical_name << "\", [&] {\n";
+    if (!translate_range(ctx, stmt_begin, *stmt_stop, out)) return false;
+    out << "});\n";
+    break;
+  case DirectiveKind::kSingle:
+    out << team << ".single([&] {\n";
+    if (!translate_range(ctx, stmt_begin, *stmt_stop, out)) return false;
+    out << "}" << (d->nowait ? ", true" : "") << ");\n";
+    break;
+  case DirectiveKind::kMaster:
+    out << team << ".master([&] {\n";
+    if (!translate_range(ctx, stmt_begin, *stmt_stop, out)) return false;
+    out << "});\n";
+    break;
+  case DirectiveKind::kSections: {
+    // The block contains `#pragma omp section` markers; each marked
+    // statement becomes one element of the Team::sections vector.
+    std::size_t pos = skip_blank(ctx.src, stmt_begin);
+    if (pos >= ctx.src.size() || ctx.src[pos] != '{') {
+      ctx.error = "sections requires a { ... } block";
+      return false;
+    }
+    out << team << ".sections({\n";
+    ++pos;
+    const std::size_t block_end = *stmt_stop - 1; // closing brace
+    bool first_section = true;
+    while (true) {
+      pos = skip_blank(ctx.src, pos);
+      if (pos >= block_end) break;
+      const std::size_t marker = ctx.src.find("#pragma", pos);
+      if (marker == std::string::npos || marker >= block_end) {
+        ctx.error = "content in sections block outside a section";
+        return false;
+      }
+      std::size_t line_end2 = ctx.src.find('\n', marker);
+      const std::string text2 =
+          ctx.src.substr(marker, line_end2 - marker);
+      if (text2.find("omp") == std::string::npos ||
+          text2.find("section") == std::string::npos) {
+        ctx.error = "unexpected pragma inside sections block";
+        return false;
+      }
+      const std::size_t body_begin = skip_blank(ctx.src, line_end2);
+      const auto body_end = statement_end(ctx.src, body_begin);
+      if (!body_end) {
+        ctx.error = "cannot find section body";
+        return false;
+      }
+      if (!first_section) out << ",\n";
+      first_section = false;
+      out << "[&] {\n";
+      if (!translate_range(ctx, body_begin, *body_end, out)) return false;
+      out << "}";
+      pos = *body_end;
+    }
+    out << "\n}" << (d->nowait ? ", true" : "") << ");\n";
+    break;
+  }
+  case DirectiveKind::kSection:
+    ctx.error = "#pragma omp section outside a sections block";
+    return false;
+  default:
+    ctx.error = "unhandled directive";
+    return false;
+  }
+  *next = *stmt_stop;
+  return true;
+}
+
+bool translate_range(Ctx& ctx, std::size_t begin, std::size_t end,
+                     std::ostringstream& out) {
+  std::size_t pos = begin;
+  while (pos < end) {
+    const std::size_t pragma = ctx.src.find("#pragma", pos);
+    if (pragma == std::string::npos || pragma >= end) {
+      out << ctx.src.substr(pos, end - pos);
+      return true;
+    }
+    // Is it an omp pragma?
+    std::size_t after = pragma + 7;
+    after = skip_blank(ctx.src, after);
+    if (ctx.src.compare(after, 3, "omp") != 0) {
+      const std::size_t line_end = ctx.src.find('\n', pragma);
+      out << ctx.src.substr(pos, (line_end == std::string::npos ? end
+                                                                : line_end) -
+                                     pos);
+      pos = line_end == std::string::npos ? end : line_end;
+      continue;
+    }
+    out << ctx.src.substr(pos, pragma - pos);
+    std::size_t line_end = ctx.src.find('\n', pragma);
+    // Continuation lines with trailing backslash.
+    while (line_end != std::string::npos && line_end > 0 &&
+           ctx.src[line_end - 1] == '\\')
+      line_end = ctx.src.find('\n', line_end + 1);
+    if (line_end == std::string::npos) line_end = end;
+    std::size_t next = 0;
+    if (!emit_directive(ctx, pragma, line_end, &next, out)) return false;
+    pos = next;
+  }
+  return true;
+}
+
+} // namespace
+
+TranslateResult translate_source(const std::string& source,
+                                 const std::string& runtime_expr) {
+  TranslateResult result;
+  Ctx ctx{source, runtime_expr, "", 0};
+  std::ostringstream out;
+  if (!translate_range(ctx, 0, source.size(), out)) {
+    result.error = ctx.error;
+    return result;
+  }
+  result.ok = true;
+  result.output = out.str();
+  return result;
+}
+
+} // namespace omsp::translate

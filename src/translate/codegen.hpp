@@ -1,0 +1,34 @@
+// OpenMP -> omsp::core code generation (§4 of the paper).
+//
+// The paper's translator encapsulates each parallel region into a separate
+// subroutine and passes pointers to shared variables plus firstprivate
+// initial values to the slaves at the fork. Our C++ target expresses exactly
+// that lowering with lambdas:
+//   * a parallel region becomes `rt.parallel([&](Team& t){ ... })` — the
+//     by-reference capture is the shared-pointer struct;
+//   * `private` variables are redeclared inside the outlined lambda (paper
+//     §4.2: "allocated on the private stack of each thread");
+//   * `firstprivate` variables are captured by value in an init-capture;
+//   * `reduction` variables accumulate into a lambda-local copy and combine
+//     through Team::reduce at region end;
+//   * worksharing `for` becomes Team::for_loop with the schedule clause;
+//   * critical/barrier/single/master map 1:1 onto Team operations.
+#pragma once
+
+#include <string>
+
+namespace omsp::translate {
+
+struct TranslateResult {
+  bool ok = false;
+  std::string output; // translated source
+  std::string error;  // diagnostic when !ok
+};
+
+// Translate OpenMP-annotated source. `runtime_expr` is the C++ expression
+// for the OmpRuntime to run regions on (default matches the preamble emitted
+// by ompcc); `team_var` is the Team parameter name used in outlined regions.
+TranslateResult translate_source(const std::string& source,
+                                 const std::string& runtime_expr = "omsp_rt()");
+
+} // namespace omsp::translate

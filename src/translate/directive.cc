@@ -1,0 +1,274 @@
+#include "translate/directive.hpp"
+
+#include <cctype>
+
+namespace omsp::translate {
+
+namespace {
+
+// Minimal token cursor over the pragma text.
+class Cursor {
+public:
+  explicit Cursor(const std::string& s) : s_(&s) {}
+
+  void skip_ws() {
+    while (pos_ < s_->size() && std::isspace(static_cast<unsigned char>((*s_)[pos_])))
+      ++pos_;
+  }
+
+  bool done() {
+    skip_ws();
+    return pos_ >= s_->size();
+  }
+
+  // Read an identifier (empty if next char is not an identifier start).
+  std::string ident() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < s_->size() &&
+           (std::isalnum(static_cast<unsigned char>((*s_)[pos_])) || (*s_)[pos_] == '_'))
+      ++pos_;
+    return s_->substr(start, pos_ - start);
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_->size() && (*s_)[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // Read a balanced "(...)" group, returning the inside text.
+  std::optional<std::string> paren_group() {
+    skip_ws();
+    if (pos_ >= s_->size() || (*s_)[pos_] != '(') return std::nullopt;
+    int depth = 0;
+    std::size_t start = pos_ + 1;
+    for (std::size_t i = pos_; i < s_->size(); ++i) {
+      if ((*s_)[i] == '(') ++depth;
+      if ((*s_)[i] == ')') {
+        --depth;
+        if (depth == 0) {
+          std::string inside = s_->substr(start, i - start);
+          pos_ = i + 1;
+          return inside;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+private:
+  const std::string* s_;
+  std::size_t pos_ = 0;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::optional<ReductionOp> parse_reduction_op(const std::string& op) {
+  if (op == "+" || op == "|+|") return ReductionOp::kSum;
+  if (op == "*") return ReductionOp::kProd;
+  if (op == "min") return ReductionOp::kMin;
+  if (op == "max") return ReductionOp::kMax;
+  if (op == "&&" || op == "&") return ReductionOp::kAnd;
+  if (op == "||" || op == "|") return ReductionOp::kOr;
+  return std::nullopt;
+}
+
+// Parse the clause tail shared by parallel/for directives.
+bool parse_clauses(Cursor& cur, Directive& d, std::string* error) {
+  while (!cur.done()) {
+    const std::string name = cur.ident();
+    if (name.empty()) {
+      *error = "expected clause name";
+      return false;
+    }
+    if (name == "nowait") {
+      d.nowait = true;
+      continue;
+    }
+    auto group = cur.paren_group();
+    if (name == "shared" || name == "private" || name == "firstprivate") {
+      if (!group) {
+        *error = name + " clause needs a variable list";
+        return false;
+      }
+      auto vars = split_var_list(*group);
+      auto& dst = name == "shared"    ? d.shared_vars
+                  : name == "private" ? d.private_vars
+                                      : d.firstprivate_vars;
+      dst.insert(dst.end(), vars.begin(), vars.end());
+    } else if (name == "reduction") {
+      if (!group) {
+        *error = "reduction clause needs (op: list)";
+        return false;
+      }
+      const auto colon = group->find(':');
+      if (colon == std::string::npos) {
+        *error = "reduction clause missing ':'";
+        return false;
+      }
+      const auto op = parse_reduction_op(trim(group->substr(0, colon)));
+      if (!op) {
+        *error = "unsupported reduction operator";
+        return false;
+      }
+      Reduction r;
+      r.op = *op;
+      r.vars = split_var_list(group->substr(colon + 1));
+      d.reductions.push_back(std::move(r));
+    } else if (name == "schedule") {
+      if (!group) {
+        *error = "schedule clause needs (kind[, chunk])";
+        return false;
+      }
+      std::string kind = *group, chunk;
+      if (const auto comma = group->find(','); comma != std::string::npos) {
+        kind = group->substr(0, comma);
+        chunk = trim(group->substr(comma + 1));
+      }
+      kind = trim(kind);
+      if (kind == "static")
+        d.schedule = ScheduleKind::kStatic;
+      else if (kind == "dynamic")
+        d.schedule = ScheduleKind::kDynamic;
+      else if (kind == "guided")
+        d.schedule = ScheduleKind::kGuided;
+      else if (kind == "runtime")
+        d.schedule = ScheduleKind::kRuntime;
+      else {
+        *error = "unsupported schedule kind '" + kind + "'";
+        return false;
+      }
+      d.schedule_chunk = chunk;
+    } else if (name == "num_threads") {
+      if (!group) {
+        *error = "num_threads needs an expression";
+        return false;
+      }
+      d.num_threads = trim(*group);
+    } else if (name == "default") {
+      // default(shared) is our model already; default(none) is advisory.
+    } else {
+      *error = "unknown clause '" + name + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::vector<std::string> split_var_list(const std::string& inside) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : inside) {
+    if (c == '(' || c == '[') ++depth;
+    if (c == ')' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      if (auto t = trim(cur); !t.empty()) out.push_back(t);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (auto t = trim(cur); !t.empty()) out.push_back(t);
+  return out;
+}
+
+const char* reduction_identity(ReductionOp op) {
+  switch (op) {
+  case ReductionOp::kSum: return "0";
+  case ReductionOp::kProd: return "1";
+  case ReductionOp::kMin: return "std::numeric_limits<double>::max()";
+  case ReductionOp::kMax: return "std::numeric_limits<double>::lowest()";
+  case ReductionOp::kAnd: return "1";
+  case ReductionOp::kOr: return "0";
+  }
+  return "0";
+}
+
+const char* reduction_combine_expr(ReductionOp op) {
+  switch (op) {
+  case ReductionOp::kSum: return "a + b";
+  case ReductionOp::kProd: return "a * b";
+  case ReductionOp::kMin: return "a < b ? a : b";
+  case ReductionOp::kMax: return "a > b ? a : b";
+  case ReductionOp::kAnd: return "a && b";
+  case ReductionOp::kOr: return "a || b";
+  }
+  return "a + b";
+}
+
+std::optional<Directive> parse_directive(const std::string& text,
+                                         std::string* error) {
+  Cursor cur(text);
+  Directive d{};
+  const std::string first = cur.ident();
+  if (first == "parallel") {
+    // Either `parallel` or `parallel for`.
+    Cursor peek = cur;
+    const std::string second = peek.ident();
+    if (second == "for") {
+      cur = peek;
+      d.kind = DirectiveKind::kParallelFor;
+    } else {
+      d.kind = DirectiveKind::kParallel;
+    }
+  } else if (first == "for") {
+    d.kind = DirectiveKind::kFor;
+  } else if (first == "critical") {
+    d.kind = DirectiveKind::kCritical;
+    if (auto group = cur.paren_group()) d.critical_name = trim(*group);
+    return d;
+  } else if (first == "barrier") {
+    d.kind = DirectiveKind::kBarrier;
+    return d;
+  } else if (first == "single") {
+    d.kind = DirectiveKind::kSingle;
+    Cursor peek = cur;
+    if (peek.ident() == "nowait") {
+      cur = peek;
+      d.nowait = true;
+    }
+    return d;
+  } else if (first == "master") {
+    d.kind = DirectiveKind::kMaster;
+    return d;
+  } else if (first == "sections") {
+    d.kind = DirectiveKind::kSections;
+    Cursor peek = cur;
+    if (peek.ident() == "nowait") {
+      cur = peek;
+      d.nowait = true;
+    }
+    return d;
+  } else if (first == "section") {
+    d.kind = DirectiveKind::kSection;
+    return d;
+  } else if (first == "threadprivate") {
+    d.kind = DirectiveKind::kThreadPrivate;
+    auto group = cur.paren_group();
+    if (!group) {
+      *error = "threadprivate needs a variable list";
+      return std::nullopt;
+    }
+    d.threadprivate_vars = split_var_list(*group);
+    return d;
+  } else {
+    *error = "unknown directive '" + first + "'";
+    return std::nullopt;
+  }
+  if (!parse_clauses(cur, d, error)) return std::nullopt;
+  return d;
+}
+
+} // namespace omsp::translate

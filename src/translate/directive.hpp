@@ -1,0 +1,68 @@
+// OpenMP directive model + pragma parser (the front half of the paper's §4
+// SUIF-based translator, narrowed to the C/C++ subset the evaluation needs).
+//
+// Grammar handled (OpenMP C/C++ 1.0):
+//   #pragma omp parallel [clauses]
+//   #pragma omp for [clauses]            (inside a parallel region)
+//   #pragma omp parallel for [clauses]
+//   #pragma omp critical [(name)]
+//   #pragma omp barrier
+//   #pragma omp single [nowait] / master
+//   #pragma omp threadprivate(list)
+// Clauses: shared(list) private(list) firstprivate(list)
+//          reduction(op: list) schedule(kind[, chunk]) num_threads(n) nowait
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace omsp::translate {
+
+enum class DirectiveKind {
+  kParallel,
+  kFor,
+  kParallelFor,
+  kCritical,
+  kBarrier,
+  kSingle,
+  kMaster,
+  kSections,
+  kSection,
+  kThreadPrivate,
+};
+
+enum class ScheduleKind { kDefault, kStatic, kDynamic, kGuided, kRuntime };
+
+enum class ReductionOp { kSum, kProd, kMin, kMax, kAnd, kOr };
+
+struct Reduction {
+  ReductionOp op;
+  std::vector<std::string> vars;
+};
+
+struct Directive {
+  DirectiveKind kind;
+  std::vector<std::string> shared_vars;
+  std::vector<std::string> private_vars;
+  std::vector<std::string> firstprivate_vars;
+  std::vector<Reduction> reductions;
+  ScheduleKind schedule = ScheduleKind::kDefault;
+  std::string schedule_chunk; // expression text; empty = default
+  std::string num_threads;    // expression text; empty = all
+  std::string critical_name;  // empty = unnamed
+  bool nowait = false;
+  std::vector<std::string> threadprivate_vars;
+};
+
+// Parse the text after "#pragma omp". Returns nullopt (with *error set) on
+// malformed input.
+std::optional<Directive> parse_directive(const std::string& text,
+                                         std::string* error);
+
+// Helpers exposed for tests.
+std::vector<std::string> split_var_list(const std::string& inside);
+const char* reduction_identity(ReductionOp op);
+const char* reduction_combine_expr(ReductionOp op); // "a + b" etc.
+
+} // namespace omsp::translate

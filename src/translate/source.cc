@@ -1,0 +1,211 @@
+#include "translate/source.hpp"
+
+#include <cctype>
+#include <vector>
+
+namespace omsp::translate {
+
+namespace {
+
+// Advance one character, tracking string/char literals and comments so brace
+// matching cannot be fooled by them.
+std::size_t skip_literal(const std::string& s, std::size_t i) {
+  const char quote = s[i];
+  ++i;
+  while (i < s.size()) {
+    if (s[i] == '\\') {
+      i += 2;
+      continue;
+    }
+    if (s[i] == quote) return i + 1;
+    ++i;
+  }
+  return i;
+}
+
+} // namespace
+
+std::size_t skip_blank(const std::string& src, std::size_t pos) {
+  while (pos < src.size()) {
+    if (std::isspace(static_cast<unsigned char>(src[pos]))) {
+      ++pos;
+    } else if (src.compare(pos, 2, "//") == 0) {
+      while (pos < src.size() && src[pos] != '\n') ++pos;
+    } else if (src.compare(pos, 2, "/*") == 0) {
+      pos = src.find("*/", pos + 2);
+      pos = (pos == std::string::npos) ? src.size() : pos + 2;
+    } else {
+      break;
+    }
+  }
+  return pos;
+}
+
+std::optional<std::size_t> statement_end(const std::string& src,
+                                         std::size_t pos) {
+  pos = skip_blank(src, pos);
+  if (pos >= src.size()) return std::nullopt;
+
+  if (src[pos] == '{') {
+    int depth = 0;
+    for (std::size_t i = pos; i < src.size();) {
+      const char c = src[i];
+      if (c == '"' || c == '\'') {
+        i = skip_literal(src, i);
+        continue;
+      }
+      if (src.compare(i, 2, "//") == 0 || src.compare(i, 2, "/*") == 0) {
+        i = skip_blank(src, i);
+        continue;
+      }
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        if (depth == 0) return i + 1;
+      }
+      ++i;
+    }
+    return std::nullopt;
+  }
+
+  // `for (...) stmt` / `if (...) stmt`: consume the parenthesized head, then
+  // recurse on the controlled statement.
+  if (src.compare(pos, 3, "for") == 0 || src.compare(pos, 2, "if") == 0 ||
+      src.compare(pos, 5, "while") == 0) {
+    std::size_t open = src.find('(', pos);
+    if (open == std::string::npos) return std::nullopt;
+    int depth = 0;
+    std::size_t i = open;
+    for (; i < src.size(); ++i) {
+      if (src[i] == '(') ++depth;
+      if (src[i] == ')') {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (i >= src.size()) return std::nullopt;
+    return statement_end(src, i + 1);
+  }
+
+  // Plain statement: scan to the ';' at depth 0.
+  int depth = 0;
+  for (std::size_t i = pos; i < src.size();) {
+    const char c = src[i];
+    if (c == '"' || c == '\'') {
+      i = skip_literal(src, i);
+      continue;
+    }
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == ';' && depth == 0) return i + 1;
+    ++i;
+  }
+  return std::nullopt;
+}
+
+std::optional<ForHeader> parse_for_header(const std::string& src,
+                                          std::size_t for_pos,
+                                          std::string* error) {
+  const std::size_t open = src.find('(', for_pos);
+  if (open == std::string::npos) {
+    *error = "for loop without '('";
+    return std::nullopt;
+  }
+  int depth = 0;
+  std::size_t close = open;
+  for (; close < src.size(); ++close) {
+    if (src[close] == '(') ++depth;
+    if (src[close] == ')') {
+      --depth;
+      if (depth == 0) break;
+    }
+  }
+  if (close >= src.size()) {
+    *error = "unbalanced for header";
+    return std::nullopt;
+  }
+  const std::string head = src.substr(open + 1, close - open - 1);
+
+  // Split init; cond; incr at top level.
+  std::vector<std::string> parts;
+  {
+    std::string cur;
+    int d = 0;
+    for (char c : head) {
+      if (c == '(') ++d;
+      if (c == ')') --d;
+      if (c == ';' && d == 0) {
+        parts.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    parts.push_back(cur);
+  }
+  if (parts.size() != 3) {
+    *error = "for header must have init; cond; incr";
+    return std::nullopt;
+  }
+
+  auto trim = [](std::string s) {
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+  };
+
+  ForHeader fh;
+  // init: [type] var = lo
+  {
+    const std::string init = trim(parts[0]);
+    const auto eq = init.find('=');
+    if (eq == std::string::npos) {
+      *error = "for init must assign the loop variable";
+      return std::nullopt;
+    }
+    fh.lo = trim(init.substr(eq + 1));
+    std::string left = trim(init.substr(0, eq));
+    const auto last_space = left.find_last_of(" \t*&");
+    if (last_space == std::string::npos) {
+      fh.var = left;
+    } else {
+      fh.type = trim(left.substr(0, last_space + 1));
+      fh.var = trim(left.substr(last_space + 1));
+    }
+  }
+  // cond: var < hi  or  var <= hi-1 (only '<' and '<=' supported)
+  {
+    const std::string cond = trim(parts[1]);
+    std::size_t lt = cond.find('<');
+    if (lt == std::string::npos || cond.compare(0, fh.var.size(), fh.var) != 0) {
+      *error = "for condition must be '" + fh.var + " < bound'";
+      return std::nullopt;
+    }
+    const bool le = lt + 1 < cond.size() && cond[lt + 1] == '=';
+    std::string hi = trim(cond.substr(lt + (le ? 2 : 1)));
+    fh.hi = le ? "(" + hi + ") + 1" : hi;
+  }
+  // incr: var++ / ++var / var += step / var = var + step
+  {
+    const std::string incr = trim(parts[2]);
+    if (incr == fh.var + "++" || incr == "++" + fh.var) {
+      fh.step = "1";
+    } else if (incr.compare(0, fh.var.size(), fh.var) == 0) {
+      std::string rest = trim(incr.substr(fh.var.size()));
+      if (rest.rfind("+=", 0) == 0) {
+        fh.step = trim(rest.substr(2));
+      } else {
+        *error = "unsupported for increment '" + incr + "'";
+        return std::nullopt;
+      }
+    } else {
+      *error = "unsupported for increment '" + incr + "'";
+      return std::nullopt;
+    }
+  }
+  fh.body_pos = skip_blank(src, close + 1);
+  return fh;
+}
+
+} // namespace omsp::translate

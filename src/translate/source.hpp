@@ -1,0 +1,37 @@
+// Structural source scanning for the translator: statement/block extents,
+// canonical for-loop headers, and pragma line detection. The scanner is
+// token-shape-aware (strings, char literals, comments) but deliberately does
+// not parse C — the paper's translator outlines the marked region verbatim
+// and so do we.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace omsp::translate {
+
+// The [begin, end) extent of the statement starting at `pos` in `src`: a
+// balanced {...} block, or a single statement up to its terminating ';'
+// (with `for (...) stmt` handled recursively).
+std::optional<std::size_t> statement_end(const std::string& src,
+                                         std::size_t pos);
+
+// Canonicalized `for` header: for (TYPE VAR = LO; VAR < HI; VAR++ / ++VAR /
+// VAR += STEP).
+struct ForHeader {
+  std::string type; // may be empty when the loop reuses an outer variable
+  std::string var;
+  std::string lo;
+  std::string hi;
+  std::string step;      // "1" unless VAR += STEP
+  std::size_t body_pos;  // index of the loop body statement
+};
+
+std::optional<ForHeader> parse_for_header(const std::string& src,
+                                          std::size_t for_pos,
+                                          std::string* error);
+
+// Skip whitespace and comments starting at pos.
+std::size_t skip_blank(const std::string& src, std::size_t pos);
+
+} // namespace omsp::translate

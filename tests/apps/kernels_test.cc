@@ -1,0 +1,192 @@
+// Numerical-kernel tests for the application building blocks: the FFT, the
+// Morton ordering, TSP's bounds, MGS's orthogonality and SOR/Water physical
+// sanity — validating the apps beyond cross-version agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "apps/barnes.hpp"
+#include "apps/fft3d.hpp"
+#include "apps/mgs.hpp"
+#include "apps/sor.hpp"
+#include "apps/tsp.hpp"
+#include "apps/water.hpp"
+#include "common/rng.hpp"
+
+namespace omsp::apps {
+namespace {
+
+// --------------------------------------------------------------- fft1d ----
+
+TEST(Fft1d, MatchesNaiveDft) {
+  constexpr std::int64_t kN = 64;
+  Rng rng(3);
+  std::vector<fft3d::Cplx> a(kN);
+  for (auto& c : a) {
+    c.re = rng.next_double(-1, 1);
+    c.im = rng.next_double(-1, 1);
+  }
+  auto fft = a;
+  fft3d::fft1d(fft.data(), kN, false);
+  for (std::int64_t k = 0; k < kN; ++k) {
+    std::complex<double> ref(0, 0);
+    for (std::int64_t n = 0; n < kN; ++n) {
+      const double ang = -2 * M_PI * k * n / kN;
+      ref += std::complex<double>(a[n].re, a[n].im) *
+             std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    ASSERT_NEAR(fft[k].re, ref.real(), 1e-9) << k;
+    ASSERT_NEAR(fft[k].im, ref.imag(), 1e-9) << k;
+  }
+}
+
+TEST(Fft1d, ForwardInverseIdentity) {
+  for (std::int64_t n : {2, 8, 64, 512}) {
+    Rng rng(static_cast<std::uint64_t>(n));
+    std::vector<fft3d::Cplx> a(n);
+    for (auto& c : a) {
+      c.re = rng.next_double(-1, 1);
+      c.im = rng.next_double(-1, 1);
+    }
+    auto b = a;
+    fft3d::fft1d(b.data(), n, false);
+    fft3d::fft1d(b.data(), n, true);
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(b[i].re, a[i].re, 1e-10);
+      ASSERT_NEAR(b[i].im, a[i].im, 1e-10);
+    }
+  }
+}
+
+TEST(Fft1d, ParsevalHolds) {
+  constexpr std::int64_t kN = 256;
+  Rng rng(9);
+  std::vector<fft3d::Cplx> a(kN);
+  double time_energy = 0;
+  for (auto& c : a) {
+    c.re = rng.next_double(-1, 1);
+    c.im = rng.next_double(-1, 1);
+    time_energy += c.re * c.re + c.im * c.im;
+  }
+  fft3d::fft1d(a.data(), kN, false);
+  double freq_energy = 0;
+  for (const auto& c : a) freq_energy += c.re * c.re + c.im * c.im;
+  EXPECT_NEAR(freq_energy, time_energy * kN, 1e-6 * time_energy * kN);
+}
+
+// -------------------------------------------------------------- morton ----
+
+TEST(Morton, PreservesOctantOrdering) {
+  // The highest interleaved bits are the top-level octant: points in octant
+  // 0 sort before points in octant 7.
+  double lo3[3] = {0.1, 0.1, 0.1};
+  double hi3[3] = {0.9, 0.9, 0.9};
+  EXPECT_LT(barnes::morton3(lo3, 0, 1), barnes::morton3(hi3, 0, 1));
+}
+
+TEST(Morton, NearbyPointsNearbyCodes) {
+  // Stay inside one octant: Z-order locality breaks exactly at splits.
+  double a[3] = {0.3, 0.3, 0.3};
+  double b[3] = {0.3005, 0.3005, 0.3005};
+  double c[3] = {0.95, 0.05, 0.95};
+  const auto ka = barnes::morton3(a, 0, 1);
+  const auto kb = barnes::morton3(b, 0, 1);
+  const auto kc = barnes::morton3(c, 0, 1);
+  EXPECT_LT(ka > kb ? ka - kb : kb - ka, ka > kc ? ka - kc : kc - ka);
+}
+
+TEST(Morton, ClampsOutOfRange) {
+  double over[3] = {2.0, 2.0, 2.0};
+  EXPECT_EQ(barnes::morton3(over, 0, 1), (1u << 30) - 1);
+}
+
+// ----------------------------------------------------------------- tsp ----
+
+TEST(TspKernel, BruteForceIsDeterministic) {
+  tsp::Params p{9, 7, 5};
+  EXPECT_EQ(tsp::brute_force_optimum(p), tsp::brute_force_optimum(p));
+}
+
+TEST(TspKernel, SeqMatchesBruteForceAcrossSeeds) {
+  for (std::uint64_t seed : {1ull, 17ull, 99ull}) {
+    tsp::Params p{10, seed, 6};
+    EXPECT_EQ(static_cast<int>(tsp::run_seq(p, 0).checksum),
+              tsp::brute_force_optimum(p))
+        << "seed " << seed;
+  }
+}
+
+TEST(TspKernel, LargerThresholdSameAnswer) {
+  tsp::Params a{11, 5, 4}, b{11, 5, 9};
+  EXPECT_EQ(static_cast<int>(tsp::run_seq(a, 0).checksum),
+            static_cast<int>(tsp::run_seq(b, 0).checksum));
+}
+
+// ----------------------------------------------------------------- mgs ----
+
+TEST(MgsKernel, DefectHelperDetectsNonOrthogonal) {
+  // Identity basis has zero defect; a sheared basis does not.
+  std::vector<double> id{1, 0, 0, 1};
+  EXPECT_NEAR(mgs::orthogonality_defect(id.data(), 2, 2), 0.0, 1e-12);
+  std::vector<double> shear{1, 0, 1, 1};
+  EXPECT_GT(mgs::orthogonality_defect(shear.data(), 2, 2), 0.5);
+}
+
+// ----------------------------------------------------------------- sor ----
+
+TEST(SorKernel, ConvergesTowardBoundary) {
+  // With all boundaries at 1.0, the interior must move toward 1.0
+  // monotonically in iteration count.
+  sor::Params few{32, 32, 2, 1.0};
+  sor::Params many{32, 32, 40, 1.0};
+  const double sum_few = sor::run_seq(few, 0).checksum;
+  const double sum_many = sor::run_seq(many, 0).checksum;
+  EXPECT_GT(sum_many, sum_few);
+  EXPECT_LE(sum_many, 32.0 * 32.0 + 1e-9); // can never exceed the boundary
+}
+
+TEST(SorKernel, ZeroIterationsLeaveInteriorZero) {
+  sor::Params p{16, 16, 0, 1.0};
+  EXPECT_DOUBLE_EQ(sor::run_seq(p, 0).checksum, 0.0);
+}
+
+// --------------------------------------------------------------- water ----
+
+TEST(WaterKernel, MoleculesStayInBox) {
+  // Reflecting walls: the position checksum is bounded by 3n (unit cube).
+  water::Params p{64, 10, 5e-3, 0.4, 3};
+  const double sum = water::run_seq(p, 0).checksum;
+  EXPECT_GT(sum, 0.0);
+  EXPECT_LT(sum, 3.0 * 64);
+}
+
+TEST(WaterKernel, DeterministicForSeed) {
+  water::Params p{64, 3, 1e-3, 0.4, 3};
+  EXPECT_DOUBLE_EQ(water::run_seq(p, 0).checksum,
+                   water::run_seq(p, 0).checksum);
+}
+
+// -------------------------------------------------------------- barnes ----
+
+TEST(BarnesKernel, MomentumRoughlyConserved) {
+  // Pairwise forces are not exactly antisymmetric under Barnes-Hut
+  // approximation, but with theta=0 (exact) the center of mass must drift
+  // only by the initial velocity field.
+  barnes::Params exact{64, 1, 0.0, 0.01, 0.05, 4};
+  barnes::Params approx{64, 1, 0.9, 0.01, 0.05, 4};
+  const double e = barnes::run_seq(exact, 0).checksum;
+  const double a = barnes::run_seq(approx, 0).checksum;
+  // The approximation changes trajectories only slightly in one step.
+  EXPECT_NEAR(e, a, std::abs(e) * 0.05 + 1.0);
+}
+
+TEST(BarnesKernel, DeterministicForSeed) {
+  barnes::Params p{128, 2, 0.7, 0.02, 0.05, 17};
+  EXPECT_DOUBLE_EQ(barnes::run_seq(p, 0).checksum,
+                   barnes::run_seq(p, 0).checksum);
+}
+
+} // namespace
+} // namespace omsp::apps

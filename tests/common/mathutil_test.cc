@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "common/mathutil.hpp"
+
+namespace omsp {
+namespace {
+
+TEST(MathUtil, Rounding) {
+  EXPECT_EQ(round_up(0, 8), 0u);
+  EXPECT_EQ(round_up(1, 8), 8u);
+  EXPECT_EQ(round_up(8, 8), 8u);
+  EXPECT_EQ(round_up(9, 8), 16u);
+  EXPECT_EQ(round_down(9, 8), 8u);
+  EXPECT_EQ(round_down(8, 8), 8u);
+  EXPECT_EQ(round_down(7, 8), 0u);
+}
+
+TEST(MathUtil, Pow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(4097));
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+TEST(MathUtil, BlockPartitionCoversExactly) {
+  for (std::uint64_t n : {0ull, 1ull, 7ull, 16ull, 17ull, 1000ull}) {
+    for (std::uint32_t workers : {1u, 2u, 3u, 16u}) {
+      std::uint64_t covered = 0;
+      std::uint64_t prev_end = 0;
+      for (std::uint32_t w = 0; w < workers; ++w) {
+        const auto r = block_partition(n, workers, w);
+        EXPECT_EQ(r.begin, prev_end);
+        EXPECT_LE(r.begin, r.end);
+        covered += r.end - r.begin;
+        prev_end = r.end;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(MathUtil, BlockPartitionBalanced) {
+  // Sizes differ by at most one.
+  const auto a = block_partition(10, 3, 0);
+  const auto b = block_partition(10, 3, 1);
+  const auto c = block_partition(10, 3, 2);
+  const auto len = [](BlockRange r) { return r.end - r.begin; };
+  EXPECT_EQ(len(a) + len(b) + len(c), 10u);
+  EXPECT_LE(len(a) - len(c), 1u);
+}
+
+} // namespace
+} // namespace omsp

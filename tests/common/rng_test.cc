@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace omsp {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  EXPECT_LT(lo, 0.05);
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(Rng, RangedDouble) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng base(42);
+  Rng s0 = base.split(0), s1 = base.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (s0.next_u64() == s1.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+  // Splitting again with the same index reproduces the stream.
+  Rng s0b = base.split(0);
+  Rng s0c = base.split(0);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(s0b.next_u64(), s0c.next_u64());
+}
+
+TEST(Rng, BoolRoughlyFair) {
+  Rng rng(5);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.next_bool() ? 1 : 0;
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+} // namespace
+} // namespace omsp

@@ -1,0 +1,353 @@
+// OpenMP runtime semantics: regions, worksharing schedules, single/master/
+// sections, critical, reductions (scalar and array), threadprivate, nesting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/runtime.hpp"
+
+namespace omsp::core {
+namespace {
+
+tmk::Config test_config(tmk::Mode mode = tmk::Mode::kThread) {
+  tmk::Config cfg;
+  cfg.topology = sim::Topology(2, 2);
+  cfg.mode = mode;
+  cfg.heap_bytes = 2u << 20;
+  cfg.cost = sim::CostModel::zero();
+  return cfg;
+}
+
+TEST(OmpRuntime, TeamIdentity) {
+  OmpRuntime rt(test_config());
+  std::atomic<std::uint32_t> seen{0};
+  rt.parallel([&](Team& t) {
+    EXPECT_EQ(t.num_threads(), 4u);
+    EXPECT_EQ(omp_get_num_threads(), 4);
+    EXPECT_EQ(omp_get_thread_num(), static_cast<int>(t.thread_num()));
+    EXPECT_TRUE(omp_in_parallel());
+    seen.fetch_add(1u << (4 * t.thread_num()));
+  });
+  EXPECT_FALSE(omp_in_parallel());
+  EXPECT_EQ(seen.load(), 0x1111u); // each thread exactly once
+}
+
+TEST(OmpRuntime, NumThreadsClause) {
+  OmpRuntime rt(test_config());
+  std::atomic<int> members{0};
+  rt.parallel([&](Team& t) {
+    EXPECT_EQ(t.num_threads(), 2u);
+    members.fetch_add(1);
+  },
+              2);
+  EXPECT_EQ(members.load(), 2);
+}
+
+TEST(OmpRuntime, NestedParallelSerializes) {
+  OmpRuntime rt(test_config());
+  std::atomic<int> inner_runs{0};
+  rt.parallel([&](Team& outer) {
+    (void)outer;
+    rt.parallel([&](Team& inner) {
+      EXPECT_EQ(inner.num_threads(), 1u);
+      EXPECT_EQ(inner.thread_num(), 0u);
+      inner_runs.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_runs.load(), 4); // each outer thread ran it serially
+}
+
+class ScheduleCoverage : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(ScheduleCoverage, EveryIterationExactlyOnce) {
+  OmpRuntime rt(test_config());
+  constexpr std::int64_t kN = 1000;
+  auto hits = rt.alloc_page_aligned<int>(kN);
+  for (std::int64_t i = 0; i < kN; ++i) hits[i] = 0;
+  rt.parallel([&](Team& t) {
+    t.for_loop(3, 3 + kN, GetParam(),
+               [&](std::int64_t i) { hits[i - 3] = hits[i - 3] + 1; });
+  });
+  for (std::int64_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i], 1) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ScheduleCoverage,
+    ::testing::Values(Schedule::static_block(), Schedule::static_chunked(1),
+                      Schedule::static_chunked(7), Schedule::dynamic(1),
+                      Schedule::dynamic(13), Schedule::guided(1),
+                      Schedule::guided(5)),
+    [](const auto& info) {
+      const Schedule& s = info.param;
+      std::string name = s.kind == ScheduleKind::kStatic    ? "Static"
+                         : s.kind == ScheduleKind::kDynamic ? "Dynamic"
+                                                            : "Guided";
+      return name + std::to_string(s.chunk);
+    });
+
+TEST(OmpRuntime, ParallelForShorthand) {
+  OmpRuntime rt(test_config());
+  constexpr std::int64_t kN = 512;
+  auto a = rt.alloc<double>(kN);
+  rt.parallel_for(0, kN, Schedule::static_block(),
+                  [&](std::int64_t i) { a[i] = 2.0 * static_cast<double>(i); });
+  for (std::int64_t i = 0; i < kN; ++i)
+    ASSERT_DOUBLE_EQ(a[i], 2.0 * static_cast<double>(i));
+}
+
+TEST(OmpRuntime, CriticalIsMutuallyExclusive) {
+  OmpRuntime rt(test_config());
+  auto counter = rt.alloc<long>(1);
+  *counter = 0;
+  rt.parallel([&](Team& t) {
+    for (int k = 0; k < 50; ++k)
+      t.critical([&] { *counter = *counter + 1; });
+  });
+  EXPECT_EQ(*counter, 200);
+}
+
+TEST(OmpRuntime, NamedCriticalsAreIndependentLocks) {
+  OmpRuntime rt(test_config());
+  EXPECT_EQ(rt.critical_lock_id("a"), rt.critical_lock_id("a"));
+  EXPECT_NE(rt.critical_lock_id("a"), rt.critical_lock_id("b"));
+}
+
+TEST(OmpRuntime, SingleRunsExactlyOnce) {
+  OmpRuntime rt(test_config());
+  std::atomic<int> runs{0};
+  rt.parallel([&](Team& t) {
+    for (int k = 0; k < 10; ++k) t.single([&] { runs.fetch_add(1); });
+  });
+  EXPECT_EQ(runs.load(), 10);
+}
+
+TEST(OmpRuntime, MasterRunsOnThreadZeroOnly) {
+  OmpRuntime rt(test_config());
+  std::atomic<int> runs{0};
+  std::atomic<int> who{-1};
+  rt.parallel([&](Team& t) {
+    t.master([&] {
+      runs.fetch_add(1);
+      who.store(static_cast<int>(t.thread_num()));
+    });
+  });
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(who.load(), 0);
+}
+
+TEST(OmpRuntime, SectionsCoverAllOnce) {
+  OmpRuntime rt(test_config());
+  std::array<std::atomic<int>, 6> runs{};
+  rt.parallel([&](Team& t) {
+    std::vector<std::function<void()>> secs;
+    for (int s = 0; s < 6; ++s)
+      secs.push_back([&runs, s] { runs[s].fetch_add(1); });
+    t.sections(secs);
+  });
+  for (auto& r : runs) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(OmpRuntime, ScalarReduction) {
+  OmpRuntime rt(test_config());
+  constexpr std::int64_t kN = 1000;
+  auto data = rt.alloc<double>(kN);
+  for (std::int64_t i = 0; i < kN; ++i) data[i] = static_cast<double>(i);
+  std::atomic<double> result{0};
+  rt.parallel([&](Team& t) {
+    double local = 0;
+    t.for_loop_nowait(0, kN, Schedule::static_block(),
+                      [&](std::int64_t i) { local += data[i]; });
+    const double total = t.reduce(local, std::plus<double>{});
+    if (t.thread_num() == 0) result.store(total);
+  });
+  EXPECT_DOUBLE_EQ(result.load(), kN * (kN - 1) / 2.0);
+}
+
+TEST(OmpRuntime, MaxReduction) {
+  OmpRuntime rt(test_config());
+  std::atomic<int> result{0};
+  rt.parallel([&](Team& t) {
+    const int local = 10 + static_cast<int>(t.thread_num() * 7) % 23;
+    const int m = t.reduce(local, [](int a, int b) { return std::max(a, b); });
+    if (t.thread_num() == 0) result.store(m);
+  });
+  EXPECT_EQ(result.load(), 10 + 21);
+}
+
+TEST(OmpRuntime, ArrayReduction) {
+  // The paper extends reductions to arrays (used by Water's force arrays).
+  OmpRuntime rt(test_config());
+  constexpr std::size_t kN = 300;
+  auto dst = rt.alloc_page_aligned<double>(kN);
+  rt.parallel([&](Team& t) {
+    std::vector<double> local(kN);
+    for (std::size_t i = 0; i < kN; ++i)
+      local[i] = static_cast<double>(t.thread_num() + 1) * static_cast<double>(i);
+    t.reduce_array(local.data(), dst, kN, std::plus<double>{});
+  });
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_DOUBLE_EQ(dst[i], 10.0 * static_cast<double>(i)); // (1+2+3+4)*i
+}
+
+TEST(OmpRuntime, ThreadPrivatePersistsAcrossRegions) {
+  OmpRuntime rt(test_config());
+  ThreadPrivate<int> tp(rt, 100);
+  rt.parallel([&](Team& t) { tp.get(t) += static_cast<int>(t.thread_num()); });
+  rt.parallel([&](Team& t) { tp.get(t) += 1; });
+  for (std::uint32_t i = 0; i < 4; ++i)
+    EXPECT_EQ(tp.get(i), 101 + static_cast<int>(i));
+}
+
+TEST(OmpRuntime, FlushPropagatesThroughLockChain) {
+  OmpRuntime rt(test_config());
+  auto flag = rt.alloc_page_aligned<int>(2);
+  flag[0] = 0;
+  rt.parallel([&](Team& t) {
+    if (t.thread_num() == 1) {
+      flag[0] = 7;
+      t.flush();
+    }
+    t.barrier();
+    if (t.thread_num() == 2) {
+      const int got = flag[0];
+      EXPECT_EQ(got, 7);
+    }
+  });
+}
+
+TEST(OmpRuntime, WtimeAdvancesWithWork) {
+  tmk::Config cfg = test_config();
+  cfg.cost = sim::CostModel::sp2_default();
+  OmpRuntime rt(cfg);
+  const double t0 = rt.wtime();
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + 1.0;
+  const double t1 = rt.wtime();
+  EXPECT_GT(t1, t0);
+}
+
+TEST(OmpRuntime, OmpLocks) {
+  OmpRuntime rt(test_config());
+  OmpLockAllocator locks(rt);
+  omp_lock_t l;
+  locks.init(&l);
+  auto counter = rt.alloc<long>(1);
+  *counter = 0;
+  rt.parallel([&](Team&) {
+    for (int k = 0; k < 25; ++k) {
+      locks.set(&l);
+      *counter = *counter + 1;
+      locks.unset(&l);
+    }
+  });
+  EXPECT_EQ(*counter, 100);
+  locks.destroy(&l);
+}
+
+} // namespace
+} // namespace omsp::core
+
+namespace omsp::core {
+namespace {
+
+tmk::Config env_cfg() {
+  tmk::Config cfg;
+  cfg.topology = sim::Topology(2, 2);
+  cfg.cost = sim::CostModel::zero();
+  return cfg;
+}
+
+TEST(OmpEnv, SetNumThreadsControlsTeamSize) {
+  OmpRuntime rt(env_cfg());
+  rt.set_num_threads(3);
+  std::atomic<int> members{0};
+  rt.parallel([&](Team& t) {
+    EXPECT_EQ(t.num_threads(), 3u);
+    members.fetch_add(1);
+  });
+  EXPECT_EQ(members.load(), 3);
+  // Explicit num_threads overrides the setting.
+  members = 0;
+  rt.parallel([&](Team&) { members.fetch_add(1); }, 2);
+  EXPECT_EQ(members.load(), 2);
+}
+
+TEST(OmpEnv, OmpNumThreadsEnvRespected) {
+  setenv("OMP_NUM_THREADS", "2", 1);
+  OmpRuntime rt(env_cfg());
+  unsetenv("OMP_NUM_THREADS");
+  std::atomic<int> members{0};
+  rt.parallel([&](Team&) { members.fetch_add(1); });
+  EXPECT_EQ(members.load(), 2);
+}
+
+TEST(OmpEnv, OmpScheduleParsed) {
+  setenv("OMP_SCHEDULE", "dynamic,4", 1);
+  OmpRuntime rt(env_cfg());
+  unsetenv("OMP_SCHEDULE");
+  EXPECT_EQ(rt.runtime_schedule().kind, ScheduleKind::kDynamic);
+  EXPECT_EQ(rt.runtime_schedule().chunk, 4);
+
+  setenv("OMP_SCHEDULE", "guided", 1);
+  OmpRuntime rt2(env_cfg());
+  unsetenv("OMP_SCHEDULE");
+  EXPECT_EQ(rt2.runtime_schedule().kind, ScheduleKind::kGuided);
+
+  OmpRuntime rt3(env_cfg()); // unset -> static default
+  EXPECT_EQ(rt3.runtime_schedule().kind, ScheduleKind::kStatic);
+  EXPECT_EQ(rt3.runtime_schedule().chunk, 0);
+}
+
+TEST(OmpEnv, RuntimeScheduleUsableInLoops) {
+  setenv("OMP_SCHEDULE", "static,5", 1);
+  OmpRuntime rt(env_cfg());
+  unsetenv("OMP_SCHEDULE");
+  auto hits = rt.alloc_page_aligned<int>(100);
+  for (int i = 0; i < 100; ++i) hits[i] = 0;
+  rt.parallel([&](Team& t) {
+    t.for_loop(0, 100, rt.runtime_schedule(),
+               [&](std::int64_t i) { hits[i] = hits[i] + 1; });
+  });
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(hits[i], 1);
+}
+
+} // namespace
+} // namespace omsp::core
+
+namespace omsp::core {
+namespace {
+
+TEST(OmpLocksExtra, TestLockNeverBlocks) {
+  tmk::Config cfg;
+  cfg.topology = sim::Topology(2, 1);
+  cfg.cost = sim::CostModel::zero();
+  OmpRuntime rt(cfg);
+  OmpLockAllocator locks(rt);
+  omp_lock_t l;
+  locks.init(&l);
+  auto order = rt.alloc_page_aligned<int>(1);
+  *order = 0;
+  rt.parallel([&](Team& t) {
+    if (t.thread_num() == 0) {
+      locks.set(&l);
+      t.barrier();
+      t.barrier();
+      locks.unset(&l);
+      t.barrier();
+    } else {
+      t.barrier();
+      EXPECT_FALSE(locks.test(&l)); // held by thread 0
+      t.barrier();
+      t.barrier();
+      EXPECT_TRUE(locks.test(&l)); // free now
+      locks.unset(&l);
+    }
+  });
+}
+
+} // namespace
+} // namespace omsp::core

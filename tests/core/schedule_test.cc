@@ -1,0 +1,93 @@
+// Pure-function tests for the loop schedules (chunk enumeration invariants).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/schedule.hpp"
+
+namespace omsp::core {
+namespace {
+
+// Collect every iteration thread `tid` executes under a static schedule.
+std::vector<std::int64_t> iterations(std::int64_t lo, std::int64_t hi,
+                                     std::int64_t chunk, std::uint32_t tid,
+                                     std::uint32_t nthreads) {
+  std::vector<std::int64_t> out;
+  static_chunks(lo, hi, chunk, tid, nthreads,
+                [&](std::int64_t b, std::int64_t e) {
+                  for (std::int64_t i = b; i < e; ++i) out.push_back(i);
+                });
+  return out;
+}
+
+TEST(StaticSchedule, BlockPartitionExactCover) {
+  for (std::uint32_t nt : {1u, 3u, 4u, 16u}) {
+    std::set<std::int64_t> seen;
+    for (std::uint32_t t = 0; t < nt; ++t)
+      for (auto i : iterations(-5, 100, 0, t, nt)) {
+        EXPECT_TRUE(seen.insert(i).second) << "duplicate " << i;
+      }
+    EXPECT_EQ(seen.size(), 105u);
+    EXPECT_EQ(*seen.begin(), -5);
+    EXPECT_EQ(*seen.rbegin(), 99);
+  }
+}
+
+TEST(StaticSchedule, ChunkedRoundRobin) {
+  // chunk=2, 3 threads over [0,12): t0 gets {0,1,6,7}, t1 {2,3,8,9}, ...
+  EXPECT_EQ(iterations(0, 12, 2, 0, 3),
+            (std::vector<std::int64_t>{0, 1, 6, 7}));
+  EXPECT_EQ(iterations(0, 12, 2, 1, 3),
+            (std::vector<std::int64_t>{2, 3, 8, 9}));
+  EXPECT_EQ(iterations(0, 12, 2, 2, 3),
+            (std::vector<std::int64_t>{4, 5, 10, 11}));
+}
+
+TEST(StaticSchedule, ChunkedTailClipped) {
+  // 10 iterations, chunk 4, 2 threads: the last chunk is short.
+  std::set<std::int64_t> seen;
+  for (std::uint32_t t = 0; t < 2; ++t)
+    for (auto i : iterations(0, 10, 4, t, 2)) seen.insert(i);
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(StaticSchedule, EmptyAndTinyRanges) {
+  EXPECT_TRUE(iterations(5, 5, 0, 0, 4).empty());
+  EXPECT_TRUE(iterations(5, 3, 0, 0, 4).empty());
+  // One iteration, many threads: exactly one thread gets it.
+  int holders = 0;
+  for (std::uint32_t t = 0; t < 8; ++t)
+    holders += iterations(7, 8, 0, t, 8).empty() ? 0 : 1;
+  EXPECT_EQ(holders, 1);
+}
+
+TEST(StaticSchedule, CyclicChunkOneIsCyclic) {
+  // The MGS schedule: chunk 1 deals single iterations round-robin.
+  EXPECT_EQ(iterations(10, 18, 1, 0, 4),
+            (std::vector<std::int64_t>{10, 14}));
+  EXPECT_EQ(iterations(10, 18, 1, 3, 4),
+            (std::vector<std::int64_t>{13, 17}));
+}
+
+TEST(GuidedSchedule, ChunksShrinkToMinimum) {
+  std::int64_t remaining = 1000;
+  std::int64_t prev = remaining;
+  while (remaining > 0) {
+    const auto c = guided_next_chunk(remaining, 4, 3);
+    EXPECT_GE(c, 3);
+    EXPECT_LE(c, prev);
+    prev = c;
+    remaining -= std::min(c, remaining);
+  }
+}
+
+TEST(ScheduleFactories, Defaults) {
+  EXPECT_EQ(Schedule::static_block().kind, ScheduleKind::kStatic);
+  EXPECT_EQ(Schedule::static_block().chunk, 0);
+  EXPECT_EQ(Schedule::dynamic().chunk, 1);
+  EXPECT_EQ(Schedule::guided().chunk, 1);
+  EXPECT_EQ(Schedule::static_chunked(9).chunk, 9);
+}
+
+} // namespace
+} // namespace omsp::core

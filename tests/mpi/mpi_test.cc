@@ -1,0 +1,324 @@
+// Mini-MPI correctness: point-to-point matching, every collective, traffic
+// accounting split into total vs off-node.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+
+namespace omsp::mpi {
+namespace {
+
+MpiWorld make_world(std::uint32_t nodes = 2, std::uint32_t ppn = 2) {
+  return MpiWorld(sim::Topology(nodes, ppn), sim::CostModel::zero());
+}
+
+TEST(Mpi, SendRecvPingPong) {
+  auto w = make_world();
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      int x = 42;
+      c.send(1, 7, &x, sizeof(x));
+      int y = 0;
+      c.recv(1, 8, &y, sizeof(y));
+      EXPECT_EQ(y, 43);
+    } else if (c.rank() == 1) {
+      int x = 0;
+      c.recv(0, 7, &x, sizeof(x));
+      c.send(0, 8, &(++x), sizeof(x));
+    }
+  });
+}
+
+TEST(Mpi, TagMatchingOutOfOrder) {
+  auto w = make_world();
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      int a = 1, b = 2;
+      c.send(1, 100, &a, sizeof(a));
+      c.send(1, 200, &b, sizeof(b));
+    } else if (c.rank() == 1) {
+      int v = 0;
+      c.recv(0, 200, &v, sizeof(v)); // match the second message first
+      EXPECT_EQ(v, 2);
+      c.recv(0, 100, &v, sizeof(v));
+      EXPECT_EQ(v, 1);
+    }
+  });
+}
+
+TEST(Mpi, AnySourceReceivesAll) {
+  auto w = make_world();
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      int sum = 0;
+      for (int i = 1; i < c.size(); ++i) {
+        int v = 0;
+        int src = -1;
+        c.recv(kAnySource, 5, &v, sizeof(v), &src);
+        EXPECT_EQ(v, src * 10);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 10 + 20 + 30);
+    } else {
+      int v = c.rank() * 10;
+      c.send(0, 5, &v, sizeof(v));
+    }
+  });
+}
+
+TEST(Mpi, BarrierSynchronizes) {
+  auto w = make_world();
+  std::atomic<int> phase1{0};
+  std::atomic<bool> ok{true};
+  w.run([&](Comm& c) {
+    phase1.fetch_add(1);
+    c.barrier();
+    if (phase1.load() != c.size()) ok.store(false);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+class MpiCollective : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpiCollective, BcastFromEveryRoot) {
+  auto w = make_world();
+  const int root = GetParam();
+  w.run([&](Comm& c) {
+    std::vector<double> buf(64, 0.0);
+    if (c.rank() == root)
+      for (int i = 0; i < 64; ++i) buf[i] = root * 100.0 + i;
+    c.bcast(root, buf.data(), buf.size() * sizeof(double));
+    for (int i = 0; i < 64; ++i) ASSERT_DOUBLE_EQ(buf[i], root * 100.0 + i);
+  });
+}
+
+TEST_P(MpiCollective, ReduceSumToEveryRoot) {
+  auto w = make_world();
+  const int root = GetParam();
+  w.run([&](Comm& c) {
+    std::vector<long> v(10);
+    for (int i = 0; i < 10; ++i) v[i] = c.rank() * 10 + i;
+    c.reduce(root, v.data(), v.size(), std::plus<long>{});
+    if (c.rank() == root) {
+      // sum over ranks r of (10r + i) = 10*sum(r) + p*i
+      const long p = c.size();
+      const long rsum = p * (p - 1) / 2;
+      for (int i = 0; i < 10; ++i) ASSERT_EQ(v[i], 10 * rsum + p * i);
+    }
+  });
+}
+
+TEST_P(MpiCollective, GatherToEveryRoot) {
+  auto w = make_world();
+  const int root = GetParam();
+  w.run([&](Comm& c) {
+    std::array<int, 3> mine{c.rank(), c.rank() * 2, c.rank() * 3};
+    std::vector<int> all(3 * c.size(), -1);
+    c.gather(root, mine.data(), all.data(), 3);
+    if (c.rank() == root) {
+      for (int r = 0; r < c.size(); ++r)
+        for (int k = 0; k < 3; ++k) ASSERT_EQ(all[r * 3 + k], r * (k + 1));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Roots, MpiCollective, ::testing::Values(0, 1, 2, 3));
+
+TEST(Mpi, Allreduce) {
+  auto w = make_world();
+  w.run([](Comm& c) {
+    double v = static_cast<double>(c.rank() + 1);
+    c.allreduce(&v, 1, std::plus<double>{});
+    EXPECT_DOUBLE_EQ(v, 10.0); // 1+2+3+4
+  });
+}
+
+TEST(Mpi, AllreduceMax) {
+  auto w = make_world();
+  w.run([](Comm& c) {
+    int v = (c.rank() * 37) % 11;
+    c.allreduce(&v, 1, [](int a, int b) { return std::max(a, b); });
+    EXPECT_EQ(v, std::max({0, 37 % 11, 74 % 11, 111 % 11}));
+  });
+}
+
+TEST(Mpi, Alltoall) {
+  auto w = make_world();
+  w.run([](Comm& c) {
+    const int p = c.size();
+    std::vector<int> send(p * 2), recvd(p * 2, -1);
+    for (int d = 0; d < p; ++d) {
+      send[d * 2] = c.rank() * 100 + d;
+      send[d * 2 + 1] = c.rank() * 100 + d + 50;
+    }
+    c.alltoall(send.data(), recvd.data(), 2);
+    for (int s = 0; s < p; ++s) {
+      ASSERT_EQ(recvd[s * 2], s * 100 + c.rank());
+      ASSERT_EQ(recvd[s * 2 + 1], s * 100 + c.rank() + 50);
+    }
+  });
+}
+
+TEST(Mpi, Allgather) {
+  auto w = make_world();
+  w.run([](Comm& c) {
+    double mine = c.rank() * 1.5;
+    std::vector<double> all(c.size(), -1);
+    c.allgather(&mine, all.data(), 1);
+    for (int r = 0; r < c.size(); ++r) ASSERT_DOUBLE_EQ(all[r], r * 1.5);
+  });
+}
+
+TEST(Mpi, TrafficSplitsOffNode) {
+  // Topology (2 nodes x 2 procs): rank 0->1 intra-node, rank 0->2 inter-node.
+  auto w = make_world();
+  w.reset_stats();
+  w.run([](Comm& c) {
+    char b = 0;
+    if (c.rank() == 0) {
+      c.send(1, 1, &b, 1);
+      c.send(2, 1, &b, 1);
+    }
+    if (c.rank() == 1) c.recv(0, 1, &b, 1);
+    if (c.rank() == 2) c.recv(0, 1, &b, 1);
+  });
+  auto s = w.stats();
+  EXPECT_EQ(s[Counter::kMsgsSent], 2u);
+  EXPECT_EQ(s[Counter::kMsgsOffNode], 1u);
+  EXPECT_GT(s[Counter::kBytesSent], s[Counter::kBytesOffNode]);
+}
+
+TEST(Mpi, MakespanReflectsCommunication) {
+  MpiWorld w(sim::Topology(2, 1), sim::CostModel::sp2_default());
+  w.run([](Comm& c) {
+    std::vector<char> big(100000);
+    if (c.rank() == 0) c.send(1, 1, big.data(), big.size());
+    if (c.rank() == 1) c.recv(0, 1, big.data(), big.size());
+  });
+  // 100 KB at 35 B/us is ~2.9 ms plus latency.
+  EXPECT_GT(w.makespan_us(), 2800.0);
+}
+
+TEST(Mpi, LargerWorldCollectives) {
+  MpiWorld w(sim::Topology(4, 4), sim::CostModel::zero());
+  w.run([](Comm& c) {
+    long v = c.rank();
+    c.allreduce(&v, 1, std::plus<long>{});
+    EXPECT_EQ(v, 120); // 0+..+15
+    c.barrier();
+    std::vector<long> all(c.size());
+    long mine = c.rank() * c.rank();
+    c.allgather(&mine, all.data(), 1);
+    for (int r = 0; r < c.size(); ++r) ASSERT_EQ(all[r], long{r} * r);
+  });
+}
+
+} // namespace
+} // namespace omsp::mpi
+
+namespace omsp::mpi {
+namespace {
+
+TEST(MpiNonblocking, IrecvWaitMatches) {
+  MpiWorld w(sim::Topology(2, 2), sim::CostModel::zero());
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      int payload = 99;
+      auto s = c.isend(1, 42, &payload, sizeof(payload));
+      c.wait(s);
+    } else if (c.rank() == 1) {
+      int out = 0;
+      auto r = c.irecv(0, 42, &out, sizeof(out));
+      EXPECT_EQ(c.wait(r), sizeof(int));
+      EXPECT_EQ(out, 99);
+    }
+  });
+}
+
+TEST(MpiNonblocking, WaitallDrainsSeveral) {
+  MpiWorld w(sim::Topology(2, 2), sim::CostModel::zero());
+  w.run([](Comm& c) {
+    constexpr int kN = 5;
+    if (c.rank() == 2) {
+      for (int i = 0; i < kN; ++i) {
+        int v = i * 3;
+        c.send(3, 10 + i, &v, sizeof(v));
+      }
+    } else if (c.rank() == 3) {
+      std::vector<int> vals(kN, -1);
+      std::vector<Comm::Request> reqs;
+      for (int i = 0; i < kN; ++i)
+        reqs.push_back(c.irecv(2, 10 + i, &vals[i], sizeof(int)));
+      c.waitall(reqs);
+      for (int i = 0; i < kN; ++i) EXPECT_EQ(vals[i], i * 3);
+    }
+  });
+}
+
+TEST(MpiCollectiveExtra, ScatterDistributesBlocks) {
+  MpiWorld w(sim::Topology(2, 2), sim::CostModel::zero());
+  w.run([](Comm& c) {
+    std::vector<int> all(c.size() * 2);
+    for (int i = 0; i < c.size() * 2; ++i) all[i] = i * 7;
+    std::array<int, 2> mine{-1, -1};
+    c.scatter(1, all.data(), mine.data(), 2);
+    EXPECT_EQ(mine[0], c.rank() * 2 * 7);
+    EXPECT_EQ(mine[1], (c.rank() * 2 + 1) * 7);
+  });
+}
+
+TEST(MpiCollectiveExtra, InclusiveScan) {
+  MpiWorld w(sim::Topology(2, 2), sim::CostModel::zero());
+  w.run([](Comm& c) {
+    long v = c.rank() + 1; // 1, 2, 3, 4
+    long out = 0;
+    c.scan(&v, &out, 1, std::plus<long>{});
+    long expect = 0;
+    for (int r = 0; r <= c.rank(); ++r) expect += r + 1;
+    EXPECT_EQ(out, expect);
+  });
+}
+
+} // namespace
+} // namespace omsp::mpi
+
+namespace omsp::mpi {
+namespace {
+
+TEST(MpiCollectiveExtra, AlltoallvVariableBlocks) {
+  MpiWorld w(sim::Topology(2, 2), sim::CostModel::zero());
+  w.run([](Comm& c) {
+    const int p = c.size();
+    // Rank r sends (d + 1) ints to destination d: value = r*100 + d.
+    std::vector<std::size_t> send_counts(p), send_offsets(p);
+    std::vector<std::size_t> recv_counts(p), recv_offsets(p);
+    std::size_t off = 0;
+    for (int d = 0; d < p; ++d) {
+      send_counts[d] = static_cast<std::size_t>(d + 1);
+      send_offsets[d] = off;
+      off += send_counts[d];
+    }
+    std::vector<int> send_buf(off);
+    for (int d = 0; d < p; ++d)
+      for (std::size_t k = 0; k < send_counts[d]; ++k)
+        send_buf[send_offsets[d] + k] = c.rank() * 100 + d;
+    // Everyone receives (me + 1) ints from each source.
+    off = 0;
+    for (int s = 0; s < p; ++s) {
+      recv_counts[s] = static_cast<std::size_t>(c.rank() + 1);
+      recv_offsets[s] = off;
+      off += recv_counts[s];
+    }
+    std::vector<int> recv_buf(off, -1);
+    c.alltoallv(send_buf.data(), send_counts.data(), send_offsets.data(),
+                recv_buf.data(), recv_counts.data(), recv_offsets.data());
+    for (int s = 0; s < p; ++s)
+      for (std::size_t k = 0; k < recv_counts[s]; ++k)
+        ASSERT_EQ(recv_buf[recv_offsets[s] + k], s * 100 + c.rank());
+  });
+}
+
+} // namespace
+} // namespace omsp::mpi

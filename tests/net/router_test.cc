@@ -1,0 +1,114 @@
+// Router unit tests: request/reply dispatch, traffic accounting, locality
+// classification and virtual-time charging.
+#include <gtest/gtest.h>
+
+#include "net/router.hpp"
+
+namespace omsp::net {
+namespace {
+
+class EchoHandler : public MessageHandler {
+public:
+  void handle(ContextId src, std::uint16_t type, ByteReader& request,
+              ByteWriter& reply) override {
+    last_src = src;
+    last_type = type;
+    const auto payload = request.get_span<std::uint8_t>();
+    reply.put_span<std::uint8_t>({payload.data(), payload.size()});
+    reply.put<std::uint32_t>(static_cast<std::uint32_t>(payload.size()));
+    ++calls;
+  }
+  ContextId last_src = kInvalidContext;
+  std::uint16_t last_type = 0;
+  int calls = 0;
+};
+
+Router make_router(sim::CostModel model = sim::CostModel::zero()) {
+  // Contexts 0,1 on node 0; context 2 on node 1.
+  return Router({0, 0, 1}, model);
+}
+
+TEST(Router, CallDispatchesAndEchoes) {
+  auto router = make_router();
+  EchoHandler echo;
+  router.bind_handler(2, &echo);
+
+  ByteWriter req;
+  std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  req.put_span<std::uint8_t>({payload.data(), payload.size()});
+  auto reply = router.call(0, 2, 77, req);
+
+  EXPECT_EQ(echo.calls, 1);
+  EXPECT_EQ(echo.last_src, 0u);
+  EXPECT_EQ(echo.last_type, 77);
+  ByteReader r(reply);
+  EXPECT_EQ(r.get_span<std::uint8_t>(), payload);
+  EXPECT_EQ(r.get<std::uint32_t>(), 5u);
+}
+
+TEST(Router, AccountsBothDirections) {
+  auto router = make_router();
+  EchoHandler echo;
+  router.bind_handler(2, &echo);
+  ByteWriter req;
+  std::vector<std::uint8_t> payload(100, 9);
+  req.put_span<std::uint8_t>({payload.data(), payload.size()});
+  (void)router.call(0, 2, 1, req);
+
+  const auto s = router.snapshot();
+  EXPECT_EQ(s[Counter::kMsgsSent], 2u);      // request + reply
+  EXPECT_EQ(s[Counter::kMsgsOffNode], 2u);   // 0 and 2 are on different nodes
+  EXPECT_GT(s[Counter::kBytesSent], 200u);   // payload both ways + headers
+  // Request bytes land on the sender's board; reply on the responder's.
+  EXPECT_EQ(router.stats(0).get(Counter::kMsgsSent), 1u);
+  EXPECT_EQ(router.stats(2).get(Counter::kMsgsSent), 1u);
+}
+
+TEST(Router, IntraNodeNotCountedOffNode) {
+  auto router = make_router();
+  EchoHandler echo;
+  router.bind_handler(1, &echo);
+  ByteWriter req;
+  req.put_span<std::uint8_t>({});
+  (void)router.call(0, 1, 1, req);
+  const auto s = router.snapshot();
+  EXPECT_EQ(s[Counter::kMsgsSent], 2u);
+  EXPECT_EQ(s[Counter::kMsgsOffNode], 0u);
+}
+
+TEST(Router, ChargesCallerClock) {
+  sim::CostModel model = sim::CostModel::zero();
+  model.net_latency_us = 50;
+  model.handler_service_us = 5;
+  auto router = make_router(model);
+  EchoHandler echo;
+  router.bind_handler(2, &echo);
+
+  sim::VirtualClock clock(0.0);
+  sim::VirtualClock::Binder bind(&clock);
+  ByteWriter req;
+  req.put_span<std::uint8_t>({});
+  (void)router.call(0, 2, 1, req);
+  // Two one-way latencies + service.
+  EXPECT_NEAR(clock.now_us(), 105.0, 1.0);
+}
+
+TEST(Router, AccountMessageReturnsModeledCost) {
+  sim::CostModel model = sim::CostModel::zero();
+  model.shm_latency_us = 10;
+  model.shm_bw_bytes_per_us = 100;
+  auto router = make_router(model);
+  const double cost = router.account_message(0, 1, 1000 - kHeaderBytes);
+  EXPECT_NEAR(cost, 10 + 1000.0 / 100, 1e-9);
+}
+
+TEST(Router, ResetStatsClears) {
+  auto router = make_router();
+  router.account_message(0, 2, 10);
+  EXPECT_GT(router.snapshot()[Counter::kMsgsSent], 0u);
+  router.reset_stats();
+  EXPECT_EQ(router.snapshot()[Counter::kMsgsSent], 0u);
+}
+
+} // namespace
+} // namespace omsp::net

@@ -1,0 +1,75 @@
+// Config and GlobalPtr unit tests.
+#include <gtest/gtest.h>
+
+#include "tmk/config.hpp"
+#include "tmk/global_ptr.hpp"
+
+namespace omsp::tmk {
+namespace {
+
+TEST(Config, ThreadModeContextLayout) {
+  Config cfg;
+  cfg.topology = sim::Topology(4, 4);
+  cfg.mode = Mode::kThread;
+  EXPECT_EQ(cfg.num_contexts(), 4u);
+  EXPECT_EQ(cfg.threads_per_context(), 4u);
+  EXPECT_EQ(cfg.context_of_rank(0), 0u);
+  EXPECT_EQ(cfg.context_of_rank(5), 1u);
+  EXPECT_EQ(cfg.slot_of_rank(5), 1u);
+  EXPECT_EQ(cfg.node_of_context(3), 3u);
+  EXPECT_TRUE(cfg.use_alias_mapping());
+  EXPECT_TRUE(cfg.use_per_page_fault_lock());
+}
+
+TEST(Config, ProcessModeContextLayout) {
+  Config cfg;
+  cfg.topology = sim::Topology(4, 4);
+  cfg.mode = Mode::kProcess;
+  EXPECT_EQ(cfg.num_contexts(), 16u);
+  EXPECT_EQ(cfg.threads_per_context(), 1u);
+  EXPECT_EQ(cfg.context_of_rank(5), 5u);
+  EXPECT_EQ(cfg.node_of_context(5), 1u); // context 5 = rank 5 lives on node 1
+  EXPECT_FALSE(cfg.use_alias_mapping());
+  EXPECT_FALSE(cfg.use_per_page_fault_lock());
+}
+
+TEST(Config, AblationOverridesStick) {
+  Config cfg;
+  cfg.mode = Mode::kProcess;
+  cfg.alias_mapping = true;
+  cfg.per_page_fault_lock = true;
+  EXPECT_TRUE(cfg.use_alias_mapping());
+  EXPECT_TRUE(cfg.use_per_page_fault_lock());
+}
+
+TEST(GlobalPtr, NullAndArithmetic) {
+  GlobalPtr<double> p;
+  EXPECT_TRUE(p.is_null());
+  EXPECT_FALSE(static_cast<bool>(p));
+  GlobalPtr<double> q(128);
+  EXPECT_EQ((q + 4).addr(), 128 + 4 * sizeof(double));
+  EXPECT_EQ((q - 2).addr(), 128 - 2 * sizeof(double));
+  q += 1;
+  EXPECT_EQ(q.addr(), 128 + sizeof(double));
+  EXPECT_EQ(q.cast<std::uint8_t>().addr(), q.addr());
+}
+
+TEST(GlobalPtr, ResolvesThroughBinding) {
+  alignas(16) std::uint8_t arena[256] = {};
+  ThreadHeapBinding::Scope scope(arena);
+  GlobalPtr<std::uint32_t> p(16);
+  *p = 0xabcd1234;
+  EXPECT_EQ(p[0], 0xabcd1234u);
+  EXPECT_EQ(*reinterpret_cast<std::uint32_t*>(arena + 16), 0xabcd1234u);
+  // Rebinding moves the view.
+  alignas(16) std::uint8_t other[256] = {};
+  {
+    ThreadHeapBinding::Scope inner(other);
+    p[0] = 7;
+    EXPECT_EQ(*reinterpret_cast<std::uint32_t*>(other + 16), 7u);
+  }
+  EXPECT_EQ(p[0], 0xabcd1234u); // outer binding restored
+}
+
+} // namespace
+} // namespace omsp::tmk

@@ -1,0 +1,104 @@
+// Contract/death tests: the runtime's preconditions abort loudly instead of
+// corrupting a distributed computation silently.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tmk/system.hpp"
+
+namespace omsp::tmk {
+namespace {
+
+Config tiny_cfg() {
+  Config cfg;
+  cfg.topology = sim::Topology(2, 1);
+  cfg.heap_bytes = 64 * 1024;
+  cfg.cost = sim::CostModel::zero();
+  return cfg;
+}
+
+TEST(Contracts, HeapExhaustionAborts) {
+  EXPECT_DEATH(
+      {
+        DsmSystem dsm(tiny_cfg());
+        (void)dsm.shared_malloc(1 << 20); // larger than the whole heap
+      },
+      "exhausted");
+}
+
+TEST(Contracts, MallocInsideParallelAborts) {
+  EXPECT_DEATH(
+      {
+        DsmSystem dsm(tiny_cfg());
+        dsm.parallel([&](Rank r) {
+          if (r == 0) (void)dsm.shared_malloc(64);
+        });
+      },
+      "sequential");
+}
+
+TEST(Contracts, ParallelFromWorkerThreadAborts) {
+  EXPECT_DEATH(
+      {
+        DsmSystem dsm(tiny_cfg());
+        std::thread t([&] { dsm.parallel([](Rank) {}); });
+        t.join();
+      },
+      "master");
+}
+
+TEST(Contracts, NestedParallelAborts) {
+  EXPECT_DEATH(
+      {
+        DsmSystem dsm(tiny_cfg());
+        dsm.parallel([&](Rank r) {
+          if (r == 0) dsm.parallel([](Rank) {});
+        });
+      },
+      "nest|master");
+}
+
+TEST(Contracts, DoubleFreeAborts) {
+  EXPECT_DEATH(
+      {
+        DsmSystem dsm(tiny_cfg());
+        const auto a = dsm.shared_malloc(128);
+        dsm.shared_free(a);
+        dsm.shared_free(a);
+      },
+      "unknown");
+}
+
+TEST(Contracts, ForeignLockReleaseAborts) {
+  EXPECT_DEATH(
+      {
+        DsmSystem dsm(tiny_cfg());
+        dsm.parallel([&](Rank r) {
+          if (r == 0) dsm.lock_acquire(3);
+          dsm.barrier();
+          if (r == 1) dsm.lock_release(3); // not the holder
+        });
+      },
+      "does not hold|not held");
+}
+
+TEST(Contracts, SystemIsRestartable) {
+  // Many systems in one process, sequentially and overlapping lifetimes.
+  for (int i = 0; i < 3; ++i) {
+    DsmSystem a(tiny_cfg());
+    auto x = a.alloc<int>(16);
+    x[0] = i;
+    {
+      DsmSystem b(tiny_cfg());
+      b.parallel([&](Rank) {});
+    }
+    a.parallel([&](Rank r) {
+      if (r == 0) x[1] = x[0] + 1;
+    });
+    EXPECT_EQ(x[1], i + 1);
+  }
+  EXPECT_EQ(FaultRegistry::region_count(), 0u);
+}
+
+} // namespace
+} // namespace omsp::tmk

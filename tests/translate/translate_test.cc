@@ -1,0 +1,300 @@
+// Translator tests: pragma parsing, source scanning, and end-to-end lowering
+// of OpenMP constructs onto the omsp::core API.
+#include <gtest/gtest.h>
+
+#include "translate/codegen.hpp"
+#include "translate/directive.hpp"
+#include "translate/source.hpp"
+
+namespace omsp::translate {
+namespace {
+
+// ------------------------------------------------------------- directives ----
+
+TEST(DirectiveParse, ParallelWithClauses) {
+  std::string err;
+  auto d = parse_directive(
+      " parallel shared(a, b) private(i) firstprivate(x) num_threads(8)",
+      &err);
+  ASSERT_TRUE(d) << err;
+  EXPECT_EQ(d->kind, DirectiveKind::kParallel);
+  EXPECT_EQ(d->shared_vars, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(d->private_vars, (std::vector<std::string>{"i"}));
+  EXPECT_EQ(d->firstprivate_vars, (std::vector<std::string>{"x"}));
+  EXPECT_EQ(d->num_threads, "8");
+}
+
+TEST(DirectiveParse, ParallelFor) {
+  std::string err;
+  auto d = parse_directive(" parallel for schedule(dynamic, 4)", &err);
+  ASSERT_TRUE(d) << err;
+  EXPECT_EQ(d->kind, DirectiveKind::kParallelFor);
+  EXPECT_EQ(d->schedule, ScheduleKind::kDynamic);
+  EXPECT_EQ(d->schedule_chunk, "4");
+}
+
+TEST(DirectiveParse, ForWithReduction) {
+  std::string err;
+  auto d = parse_directive(" for reduction(+: sum, count) nowait", &err);
+  ASSERT_TRUE(d) << err;
+  EXPECT_EQ(d->kind, DirectiveKind::kFor);
+  ASSERT_EQ(d->reductions.size(), 1u);
+  EXPECT_EQ(d->reductions[0].op, ReductionOp::kSum);
+  EXPECT_EQ(d->reductions[0].vars,
+            (std::vector<std::string>{"sum", "count"}));
+  EXPECT_TRUE(d->nowait);
+}
+
+TEST(DirectiveParse, CriticalNamedAndUnnamed) {
+  std::string err;
+  auto named = parse_directive(" critical(queue)", &err);
+  ASSERT_TRUE(named);
+  EXPECT_EQ(named->critical_name, "queue");
+  auto unnamed = parse_directive(" critical", &err);
+  ASSERT_TRUE(unnamed);
+  EXPECT_EQ(unnamed->critical_name, "");
+}
+
+TEST(DirectiveParse, SimpleDirectives) {
+  std::string err;
+  EXPECT_EQ(parse_directive(" barrier", &err)->kind, DirectiveKind::kBarrier);
+  EXPECT_EQ(parse_directive(" master", &err)->kind, DirectiveKind::kMaster);
+  EXPECT_EQ(parse_directive(" single", &err)->kind, DirectiveKind::kSingle);
+  auto tp = parse_directive(" threadprivate(counter, scratch)", &err);
+  ASSERT_TRUE(tp);
+  EXPECT_EQ(tp->threadprivate_vars,
+            (std::vector<std::string>{"counter", "scratch"}));
+}
+
+TEST(DirectiveParse, RejectsUnknown) {
+  std::string err;
+  EXPECT_FALSE(parse_directive(" taskloop", &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(parse_directive(" parallel bogus(x)", &err));
+  EXPECT_FALSE(parse_directive(" for schedule(auto)", &err));
+  EXPECT_FALSE(parse_directive(" for reduction(+ sum)", &err));
+}
+
+TEST(DirectiveParse, VarListSplitting) {
+  EXPECT_EQ(split_var_list("a, b ,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_var_list("arr[0], f(x, y), z"),
+            (std::vector<std::string>{"arr[0]", "f(x, y)", "z"}));
+  EXPECT_TRUE(split_var_list("  ").empty());
+}
+
+// ----------------------------------------------------------------- source ----
+
+TEST(SourceScan, BlockExtent) {
+  const std::string src = "  { a; { b; } \"}\" ; } tail";
+  const auto end = statement_end(src, 0);
+  ASSERT_TRUE(end);
+  EXPECT_EQ(src.substr(*end), " tail");
+}
+
+TEST(SourceScan, SingleStatement) {
+  const std::string src = "x = f(a, \";\") + 1; rest";
+  const auto end = statement_end(src, 0);
+  ASSERT_TRUE(end);
+  EXPECT_EQ(src.substr(*end), " rest");
+}
+
+TEST(SourceScan, ForWithoutBraces) {
+  const std::string src = "for (i = 0; i < n; i++) a[i] = 0; rest";
+  const auto end = statement_end(src, 0);
+  ASSERT_TRUE(end);
+  EXPECT_EQ(src.substr(*end), " rest");
+}
+
+TEST(SourceScan, ForHeaderCanonical) {
+  std::string err;
+  const std::string src = "for (long i = 2; i < n + 1; i++) { body; }";
+  auto fh = parse_for_header(src, 0, &err);
+  ASSERT_TRUE(fh) << err;
+  EXPECT_EQ(fh->type, "long");
+  EXPECT_EQ(fh->var, "i");
+  EXPECT_EQ(fh->lo, "2");
+  EXPECT_EQ(fh->hi, "n + 1");
+  EXPECT_EQ(fh->step, "1");
+}
+
+TEST(SourceScan, ForHeaderLessEqualAndStep) {
+  std::string err;
+  auto fh = parse_for_header("for (j = a; j <= b; j += 2) x;", 0, &err);
+  ASSERT_TRUE(fh) << err;
+  EXPECT_EQ(fh->hi, "(b) + 1");
+  EXPECT_EQ(fh->step, "2");
+}
+
+TEST(SourceScan, ForHeaderRejectsDownwardLoops) {
+  std::string err;
+  EXPECT_FALSE(parse_for_header("for (i = n; i > 0; i--) x;", 0, &err));
+}
+
+// ----------------------------------------------------------------- codegen ----
+
+TEST(Codegen, ParallelForLowering) {
+  const auto r = translate_source(
+      "#pragma omp parallel for schedule(static, 8)\n"
+      "for (int i = 0; i < n; i++) { a[i] = i; }\n",
+      "rt");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(r.output.find("rt.parallel("), std::string::npos);
+  EXPECT_NE(r.output.find("for_loop"), std::string::npos);
+  EXPECT_NE(r.output.find("static_chunked(8)"), std::string::npos);
+  EXPECT_NE(r.output.find("a[i] = i;"), std::string::npos);
+}
+
+TEST(Codegen, ParallelRegionWithNestedDirectives) {
+  const auto r = translate_source(
+      "#pragma omp parallel\n"
+      "{\n"
+      "  work();\n"
+      "#pragma omp barrier\n"
+      "#pragma omp critical(tally)\n"
+      "  { total++; }\n"
+      "#pragma omp master\n"
+      "  { report(); }\n"
+      "}\n",
+      "rt");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(r.output.find("omsp_team.barrier();"), std::string::npos);
+  EXPECT_NE(r.output.find("critical(\"tally\""), std::string::npos);
+  EXPECT_NE(r.output.find("master(["), std::string::npos);
+}
+
+TEST(Codegen, ReductionRewritesAccumulator) {
+  const auto r = translate_source(
+      "#pragma omp parallel for reduction(+: sum)\n"
+      "for (long i = 0; i < n; i++) sum += a[i];\n",
+      "rt");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(r.output.find("omsp_red_sum += a[i]"), std::string::npos);
+  EXPECT_NE(r.output.find(".reduce(omsp_red_sum"), std::string::npos);
+  // Exactly one thread folds the result back.
+  EXPECT_NE(r.output.find("thread_num() == 0"), std::string::npos);
+}
+
+TEST(Codegen, NonOmpPragmasPassThrough) {
+  const auto r = translate_source("#pragma once\nint x;\n", "rt");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(r.output.find("#pragma once"), std::string::npos);
+}
+
+TEST(Codegen, PlainSourceUnchanged) {
+  const std::string src = "int main() { return 0; }\n";
+  const auto r = translate_source(src, "rt");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.output, src);
+}
+
+TEST(Codegen, ErrorsPropagate) {
+  const auto bad = translate_source("#pragma omp parallel for\nwhile (1);\n",
+                                    "rt");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.empty());
+  const auto orphan =
+      translate_source("#pragma omp for\nfor (int i = 0; i < 3; i++) x;\n",
+                       "rt");
+  EXPECT_FALSE(orphan.ok);
+}
+
+TEST(Codegen, FirstPrivateBecomesInitCapture) {
+  const auto r = translate_source(
+      "#pragma omp parallel firstprivate(seed)\n"
+      "{ use(seed); }\n",
+      "rt");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(r.output.find("seed = seed"), std::string::npos);
+}
+
+TEST(Codegen, SingleAndNowait) {
+  const auto r = translate_source(
+      "#pragma omp parallel\n"
+      "{\n"
+      "#pragma omp single\n"
+      "  { init(); }\n"
+      "}\n",
+      "rt");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(r.output.find("single(["), std::string::npos);
+}
+
+} // namespace
+} // namespace omsp::translate
+
+namespace omsp::translate {
+namespace {
+
+TEST(DirectiveParse, RuntimeSchedule) {
+  std::string err;
+  auto d = parse_directive(" for schedule(runtime)", &err);
+  ASSERT_TRUE(d) << err;
+  EXPECT_EQ(d->schedule, ScheduleKind::kRuntime);
+}
+
+TEST(Codegen, RuntimeScheduleLowersToEnvQuery) {
+  const auto r = translate_source(
+      "#pragma omp parallel for schedule(runtime)\n"
+      "for (int i = 0; i < n; i++) a[i] = i;\n",
+      "rt");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(r.output.find("runtime_schedule()"), std::string::npos);
+}
+
+} // namespace
+} // namespace omsp::translate
+
+namespace omsp::translate {
+namespace {
+
+TEST(Codegen, SectionsLowering) {
+  const auto r = translate_source(
+      "#pragma omp parallel\n"
+      "{\n"
+      "#pragma omp sections\n"
+      "  {\n"
+      "#pragma omp section\n"
+      "    { work_a(); }\n"
+      "#pragma omp section\n"
+      "    { work_b(); }\n"
+      "  }\n"
+      "}\n",
+      "rt");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(r.output.find(".sections({"), std::string::npos);
+  EXPECT_NE(r.output.find("work_a();"), std::string::npos);
+  EXPECT_NE(r.output.find("work_b();"), std::string::npos);
+}
+
+TEST(Codegen, OrphanSectionRejected) {
+  const auto r = translate_source(
+      "#pragma omp parallel\n"
+      "{\n"
+      "#pragma omp section\n"
+      "  { lonely(); }\n"
+      "}\n",
+      "rt");
+  EXPECT_FALSE(r.ok);
+}
+
+} // namespace
+} // namespace omsp::translate
+
+namespace omsp::translate {
+namespace {
+
+TEST(DirectiveHelpers, ReductionIdentitiesAndCombiners) {
+  EXPECT_STREQ(reduction_identity(ReductionOp::kSum), "0");
+  EXPECT_STREQ(reduction_identity(ReductionOp::kProd), "1");
+  EXPECT_STREQ(reduction_combine_expr(ReductionOp::kSum), "a + b");
+  EXPECT_STREQ(reduction_combine_expr(ReductionOp::kProd), "a * b");
+  // min/max identities reference numeric_limits (usable in generated code).
+  EXPECT_NE(std::string(reduction_identity(ReductionOp::kMin)).find("max"),
+            std::string::npos);
+  EXPECT_NE(std::string(reduction_identity(ReductionOp::kMax)).find("lowest"),
+            std::string::npos);
+}
+
+} // namespace
+} // namespace omsp::translate
