@@ -126,6 +126,66 @@ void BM_Mprotect(benchmark::State& state) {
 }
 BENCHMARK(BM_Mprotect)->Unit(benchmark::kNanosecond);
 
+// --- tracing overhead --------------------------------------------------------
+// The disabled macro must cost one relaxed load + predicted branch; the
+// enabled path one SPSC push. Compare against BM_FaultFetchRoundTrip to see
+// that protocol work dwarfs either (docs/OBSERVABILITY.md "Overhead").
+
+void BM_TraceEventDisabled(benchmark::State& state) {
+  // No tracer installed: the macro's fast path.
+  for (auto _ : state) {
+    OMSP_TRACE_EVENT(kPageFault, 0, 1, 0, trace::kFlagWrite);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEventDisabled)->Unit(benchmark::kNanosecond);
+
+void BM_TraceEventEnabled(benchmark::State& state) {
+  trace::Options opts;
+  opts.enabled = true;
+  opts.ring_events = 1u << 16;
+  trace::Tracer tracer(opts);
+  tracer.install();
+  trace::Tracer::bind_thread(0);
+  std::size_t n = 0;
+  for (auto _ : state) {
+    OMSP_TRACE_EVENT(kPageFault, 0, 1, 0, trace::kFlagWrite);
+    if (++n == (1u << 15)) { // drain periodically, as barriers would
+      state.PauseTiming();
+      tracer.clear();
+      n = 0;
+      state.ResumeTiming();
+    }
+  }
+  tracer.uninstall();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEventEnabled)->Unit(benchmark::kNanosecond);
+
+void BM_FaultFetchRoundTripTraced(benchmark::State& state) {
+  // BM_FaultFetchRoundTrip with tracing on: the end-to-end overhead check.
+  Config cfg;
+  cfg.topology = sim::Topology(2, 1);
+  cfg.cost = sim::CostModel::zero();
+  cfg.heap_bytes = 1u << 20;
+  cfg.trace.enabled = true;
+  DsmSystem dsm(cfg);
+  auto data = dsm.alloc_page_aligned<long>(512);
+  long expect = 0;
+  for (auto _ : state) {
+    ++expect;
+    dsm.parallel([&](Rank r) {
+      if (r == 0) data[0] = expect;
+      dsm.barrier();
+      if (r == 1) benchmark::DoNotOptimize(data[0]);
+    });
+    // Bound the collected-event buffer; a real run drains to a sink instead.
+    if (expect % 8192 == 0) dsm.reset_stats();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultFetchRoundTripTraced)->Unit(benchmark::kMicrosecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -3,6 +3,8 @@
 # figure of the paper's evaluation. Artifacts land in the repository root:
 #   test_output.txt   — full ctest log
 #   bench_output.txt  — every bench binary's output
+# With OMSP_TRACES=1, also record SOR/TSP protocol traces (both modes), audit
+# them against the stats counters, and leave traces/*.trace + *.json behind.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -18,5 +20,18 @@ for b in build/bench/*; do
   "$b" 2>&1 | tee -a bench_output.txt
   echo | tee -a bench_output.txt
 done
+
+if [ "${OMSP_TRACES:-0}" = "1" ]; then
+  mkdir -p traces
+  ./build/src/trace/omsp-trace --self-check
+  for app in sor tsp; do
+    for mode in thread process; do
+      ./build/src/trace/omsp-trace record "$app" --mode "$mode" \
+        -o "traces/${app}_${mode}"
+      ./build/src/trace/omsp-trace check "traces/${app}_${mode}.trace"
+    done
+  done
+  echo "Traces in traces/ — open the .json files in ui.perfetto.dev."
+fi
 
 echo "Done. See test_output.txt and bench_output.txt."

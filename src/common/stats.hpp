@@ -4,8 +4,16 @@
 // SIGSEGV taken, twin made, diff created/applied, ...) increments a named
 // counter on the StatsBoard of the context where it happened. Counters are
 // relaxed atomics: the totals are read only at quiescent points (after joins
-// and barriers), so no ordering is needed, only loss-free increments from
-// concurrent threads of a node.
+// and barriers — the same points where trace rings are drained), so no
+// ordering is needed, only loss-free increments from concurrent threads of a
+// node.
+//
+// Cross-check invariant: every add() on a protocol path is paired with an
+// OMSP_TRACE_EVENT emission at the same site, so a lossless trace folds back
+// into an identical StatsSnapshot (trace::reconstruct_counters). Adding or
+// moving a counter increment without its event (or vice versa) breaks
+// `omsp-trace check` and the trace integration tests. DsmSystem::reset_stats
+// clears both layers together to keep their windows aligned.
 #pragma once
 
 #include <array>

@@ -24,6 +24,7 @@
 #include "common/types.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/virtual_clock.hpp"
+#include "trace/tracer.hpp"
 
 namespace omsp::net {
 
@@ -96,6 +97,8 @@ public:
       board.add(Counter::kMsgsOffNode);
       board.add(Counter::kBytesOffNode, bytes);
     }
+    OMSP_TRACE_EVENT(kMessage, src, bytes, dst,
+                     same ? 0 : trace::kFlagOffNode);
     return model_.message_us(bytes, same);
   }
 

@@ -17,6 +17,7 @@
 #include "common/mathutil.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/topology.hpp"
+#include "trace/tracer.hpp"
 
 namespace omsp::tmk {
 
@@ -55,6 +56,11 @@ struct Config {
   std::size_t gc_threshold_bytes = 0;
 
   Protocol protocol = Protocol::kLazyRC;
+
+  // Structured protocol tracing (docs/OBSERVABILITY.md). Off by default; the
+  // OMSP_TRACE_BIN / OMSP_TRACE_JSON environment variables override this at
+  // DsmSystem construction when trace.enabled is false.
+  trace::Options trace;
 
   bool use_alias_mapping() const {
     return alias_mapping.value_or(mode == Mode::kThread);

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "sim/virtual_clock.hpp"
+#include "trace/tracer.hpp"
 
 #include <ctime>
 
@@ -72,7 +73,7 @@ void chaos_point() {
 
 DsmContext::DsmContext(ContextId id, const Config& config, net::Router& router)
     : config_(config), id_(id), router_(router), stats_(&router.stats(id)),
-      heap_(config.heap_bytes, config.use_alias_mapping(), stats_,
+      heap_(config.heap_bytes, config.use_alias_mapping(), id, stats_,
             &config.cost),
       per_page_locks_(config.use_per_page_fault_lock()) {
   nc_ = config.num_contexts();
@@ -103,6 +104,8 @@ void DsmContext::on_fault(void* addr, bool is_write) {
   }
   stats_->add(Counter::kPageFaults);
   stats_->add(is_write ? Counter::kWriteFaults : Counter::kReadFaults);
+  const double fault_t0 =
+      rs.clock() != nullptr ? rs.clock()->now_us() : 0;
 
   const PageId p = heap_.page_of(addr);
   OMSP_PTRACE(p, "fault is_write=%d", is_write ? 1 : 0);
@@ -150,6 +153,9 @@ void DsmContext::on_fault(void* addr, bool is_write) {
     // Spurious: another thread already installed sufficient access.
     break;
   }
+  OMSP_TRACE_EVENT(kPageFault, id_, p, 0,
+                   is_write ? trace::kFlagWrite : std::uint16_t{0},
+                   rs.clock() != nullptr ? rs.clock()->now_us() - fault_t0 : 0);
 }
 
 void DsmContext::set_prot(PageId p, Protection prot) {
@@ -165,6 +171,7 @@ void DsmContext::make_twin(PageId p) {
   meta.twin = std::make_unique<std::uint8_t[]>(kPageSize);
   heap_.snapshot_page(p, meta.twin.get());
   stats_->add(Counter::kTwins);
+  OMSP_TRACE_EVENT(kTwinCreate, id_, p);
   OMSP_PTRACE(p, "twin made val=%ld",
               reinterpret_cast<const long*>(meta.twin.get())[trace_off() / 8]);
   if (auto* clock = sim::VirtualClock::current(); clock != nullptr)
@@ -231,6 +238,10 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
       req.put<IntervalSeq>(need.want);
       my_vt.serialize(req);
       auto reply = router_.call(id_, need.creator, kMsgDiffRequest, req);
+      OMSP_TRACE_EVENT(kDiffFetch, id_, p, reply.size(),
+                       router_.same_node(id_, need.creator)
+                           ? std::uint16_t{0}
+                           : trace::kFlagOffNode);
       ByteReader r(reply);
       auto recs = deserialize_records(r);
       if (!recs.empty()) apply_records(recs); // no page lock held
@@ -283,6 +294,7 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
       // current, local diffs contain local writes only.
       if (meta.twin != nullptr) apply_diff(g.bytes, meta.twin.get());
       stats_->add(Counter::kDiffsApplied);
+      OMSP_TRACE_EVENT(kDiffApply, id_, p, g.bytes.size());
       if (clock != nullptr)
         clock->charge(config_.cost.diff_apply_base_us +
                       config_.cost.diff_byte_us *
@@ -302,6 +314,7 @@ void DsmContext::handle(ContextId src, std::uint16_t type, ByteReader& request,
     std::lock_guard<std::mutex> pl(page_lock(p));
     apply_bytes_at_home(p, bytes.data(), bytes.size(), /*full_page=*/false);
     stats_->add(Counter::kDiffsApplied);
+    OMSP_TRACE_EVENT(kDiffApply, id_, p, bytes.size());
     return;
   }
   if (type == kMsgPageRequest) {
@@ -313,6 +326,7 @@ void DsmContext::handle(ContextId src, std::uint16_t type, ByteReader& request,
     heap_.snapshot_page(p, snapshot);
     reply.put_span<std::uint8_t>({snapshot, kPageSize});
     stats_->add(Counter::kFullPageFetches);
+    OMSP_TRACE_EVENT(kFullPageFetch, id_, p, kPageSize);
     return;
   }
   OMSP_CHECK_MSG(type == kMsgDiffRequest, "unknown tmk message type");
@@ -488,6 +502,7 @@ void DsmContext::flush_page_diff_locked(PageId p) {
       table_[id_].push_back(IntervalInfo{vt_, {p}});
       last_listed_[p] = tag;
       stats_->add(Counter::kIntervals);
+      OMSP_TRACE_EVENT(kIntervalClose, id_, tag, 1);
       OMSP_PTRACE(p, "flush mints interval seq=%u", tag);
     } else {
       // All twin content is covered by published intervals listing p.
@@ -498,6 +513,7 @@ void DsmContext::flush_page_diff_locked(PageId p) {
 
   stats_->add(Counter::kDiffsCreated);
   stats_->add(Counter::kDiffBytesCreated, diff.size());
+  OMSP_TRACE_EVENT(kDiffCreate, id_, p, diff.size());
   if (auto* clock = sim::VirtualClock::current(); clock != nullptr)
     clock->charge(config_.cost.diff_create_base_us +
                   config_.cost.diff_byte_us * kPageSize);
@@ -550,6 +566,7 @@ std::optional<IntervalRecord> DsmContext::close_interval() {
   for (PageId p : rec.pages)
     OMSP_PTRACE(p, "close lists page in interval seq=%u", rec.seq);
   stats_->add(Counter::kIntervals);
+  OMSP_TRACE_EVENT(kIntervalClose, id_, rec.seq, rec.pages.size());
 
   if (config_.protocol == Protocol::kHomeLRC) {
     // Eagerly flush every dirty page's delta to its home, then retire the
@@ -567,6 +584,7 @@ std::optional<IntervalRecord> DsmContext::close_interval() {
       DiffBytes diff = create_diff(meta.twin.get(), snapshot, kPageSize);
       stats_->add(Counter::kDiffsCreated);
       stats_->add(Counter::kDiffBytesCreated, diff.size());
+      OMSP_TRACE_EVENT(kDiffCreate, id_, p, diff.size());
       if (auto* clock = sim::VirtualClock::current(); clock != nullptr)
         clock->charge(config_.cost.diff_create_base_us +
                       config_.cost.diff_byte_us * kPageSize);
@@ -634,6 +652,7 @@ void DsmContext::apply_records(const std::vector<IntervalRecord>& records) {
                      "apply_records left an uncovered vector-time claim");
   }
   stats_->add(Counter::kWriteNoticesRecv, notices);
+  if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesRecv, id_, notices);
 
   std::sort(to_invalidate.begin(), to_invalidate.end());
   to_invalidate.erase(std::unique(to_invalidate.begin(), to_invalidate.end()),
@@ -645,6 +664,7 @@ void DsmContext::apply_records(const std::vector<IntervalRecord>& records) {
       meta.state = PageState::kInvalid;
       set_prot(p, Protection::kNone);
       stats_->add(Counter::kPageInvalidations);
+      OMSP_TRACE_EVENT(kInvalidate, id_, p);
       OMSP_PTRACE(p, "invalidated");
     }
   }

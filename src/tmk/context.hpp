@@ -27,6 +27,11 @@
 //   * Diffs gathered across all rounds of one fetch are applied in a single
 //     globally vt-sorted pass (a per-round apply could put an older diff on
 //     top of a newer one).
+//   * Observability: every StatsBoard increment on these paths is paired
+//     with an OMSP_TRACE_EVENT at the same site, and `omsp-trace check`
+//     asserts a lossless trace reconstructs every counter exactly — so a
+//     protocol change that forgets either half of the pair fails the trace
+//     integration tests rather than silently skewing Tables 2-3.
 //
 // Locking discipline (deadlock-free by construction):
 //   page_lock(p)  — guards one page's state/twin/diffs. Taken by the fault

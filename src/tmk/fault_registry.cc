@@ -46,6 +46,11 @@ bool fault_is_write(const ucontext_t* uc) {
 #endif
 }
 
+// Runs in SIGSEGV context. Everything downstream of on_fault must stay
+// signal-safe for the *synchronous* faults we take on protected DSM pages:
+// the protocol's own locks are fine (a faulting thread never holds them at a
+// shared-heap access), and trace emission is a lock-free SPSC ring push — the
+// ring itself is pre-registered by Tracer::bind_thread before any fault.
 void segv_handler(int signo, siginfo_t* info, void* ucontext) {
   const auto addr = reinterpret_cast<std::uintptr_t>(info->si_addr);
   for (auto& region : g_regions) {

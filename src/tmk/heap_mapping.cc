@@ -11,6 +11,7 @@
 #include "common/mathutil.hpp"
 #include "sim/virtual_clock.hpp"
 #include "tmk/diff.hpp"
+#include "trace/tracer.hpp"
 
 namespace omsp::tmk {
 
@@ -35,9 +36,10 @@ int to_native(Protection p) {
 
 } // namespace
 
-HeapMapping::HeapMapping(std::size_t bytes, bool alias, StatsBoard* stats,
-                         const sim::CostModel* cost)
-    : bytes_(round_up(bytes, kHeapPageSize)), stats_(stats), cost_(cost) {
+HeapMapping::HeapMapping(std::size_t bytes, bool alias, ContextId owner,
+                         StatsBoard* stats, const sim::CostModel* cost)
+    : bytes_(round_up(bytes, kHeapPageSize)), owner_(owner), stats_(stats),
+      cost_(cost) {
   OMSP_CHECK(static_cast<std::size_t>(::sysconf(_SC_PAGESIZE)) ==
              kHeapPageSize);
   // Both modes are memfd-backed so the runtime can always reach page
@@ -81,6 +83,7 @@ void HeapMapping::protect(PageId page, Protection prot) {
   const int rc = ::mprotect(app_page(page), kHeapPageSize, to_native(prot));
   OMSP_CHECK_MSG(rc == 0, "mprotect failed");
   if (stats_ != nullptr) stats_->add(Counter::kMprotect);
+  OMSP_TRACE_EVENT(kMprotect, owner_, page, static_cast<std::uint64_t>(prot));
   if (auto* clock = sim::VirtualClock::current(); clock != nullptr)
     clock->charge(cost_->mprotect_us);
 }

@@ -37,9 +37,10 @@ public:
   // Creates the mappings; `alias` selects dual-mapping (thread) vs single
   // anonymous mapping (process/original). The heap starts zero-filled with
   // the application mapping PROT_READ (all pages valid, clean) — the initial
-  // all-zero contents are trivially coherent across contexts.
-  HeapMapping(std::size_t bytes, bool alias, StatsBoard* stats,
-              const sim::CostModel* cost);
+  // all-zero contents are trivially coherent across contexts. `owner` is the
+  // context the mprotect counters and trace events are attributed to.
+  HeapMapping(std::size_t bytes, bool alias, ContextId owner,
+              StatsBoard* stats, const sim::CostModel* cost);
   ~HeapMapping();
 
   HeapMapping(const HeapMapping&) = delete;
@@ -91,6 +92,7 @@ private:
   int memfd_ = -1;
   std::uint8_t* app_base_ = nullptr;
   std::uint8_t* alias_base_ = nullptr;
+  ContextId owner_;
   StatsBoard* stats_;
   const sim::CostModel* cost_;
 };

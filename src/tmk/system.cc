@@ -24,6 +24,16 @@ DsmSystem::DsmSystem(Config config)
   const std::uint32_t nc = config_.num_contexts();
   const std::uint32_t np = config_.topology.nprocs();
 
+  // Install the tracer before any context exists so construction-time
+  // protocol activity is captured. Environment variables provide an
+  // code-free enable when the Config leaves tracing off.
+  trace::Options topt = config_.trace;
+  if (!topt.enabled) topt = trace::Options::from_env();
+  if (topt.enabled) {
+    tracer_ = std::make_unique<trace::Tracer>(topt);
+    if (!tracer_->install()) tracer_.reset(); // another system is tracing
+  }
+
   std::vector<NodeId> context_node(nc);
   for (ContextId c = 0; c < nc; ++c)
     context_node[c] = config_.node_of_context(c);
@@ -48,6 +58,7 @@ DsmSystem::DsmSystem(Config config)
 
   master_thread_ = std::this_thread::get_id();
   t_current_rank = 0;
+  trace::Tracer::bind_thread(0);
   master_heap_scope_.emplace(contexts_[0]->heap().app_base());
   master_clock_scope_.emplace(clocks_[0].get());
 
@@ -65,6 +76,9 @@ DsmSystem::~DsmSystem() {
   for (auto& w : workers_) w.join();
   master_clock_scope_.reset();
   master_heap_scope_.reset();
+  // All emitters are gone; drain the rings and write the configured sinks
+  // with the final counter snapshot the trace must reconcile against.
+  if (tracer_ != nullptr) tracer_->finish(router_->snapshot());
 }
 
 void DsmSystem::worker_main(Rank rank) {
@@ -72,6 +86,7 @@ void DsmSystem::worker_main(Rank rank) {
   ThreadHeapBinding::Scope heap_scope(contexts_[cid]->heap().app_base());
   sim::VirtualClock::Binder clock_scope(clocks_[rank].get());
   t_current_rank = rank;
+  trace::Tracer::bind_thread(rank);
 
   std::uint64_t seen_gen = 0;
   for (;;) {
@@ -126,8 +141,9 @@ void DsmSystem::parallel(const std::function<void(Rank)>& fn) {
     auto recs = contexts_[0]->records_unknown_to(contexts_[c]->vt_snapshot());
     const std::size_t bytes = kForkDescriptorBytes + records_wire_size(recs);
     const double cost = router_->account_message(0, c, bytes);
-    router_->stats(0).add(Counter::kWriteNoticesSent,
-                          records_notice_count(recs));
+    const auto notices = records_notice_count(recs);
+    router_->stats(0).add(Counter::kWriteNoticesSent, notices);
+    if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, 0, notices);
     contexts_[c]->apply_records(recs);
     fork_start_time_[c] = mnow + cost;
   }
@@ -154,8 +170,9 @@ void DsmSystem::parallel(const std::function<void(Rank)>& fn) {
     auto recs = contexts_[c]->records_unknown_to(contexts_[0]->vt_snapshot());
     const std::size_t bytes = kForkDescriptorBytes + records_wire_size(recs);
     const double cost = router_->account_message(c, 0, bytes);
-    router_->stats(c).add(Counter::kWriteNoticesSent,
-                          records_notice_count(recs));
+    const auto notices = records_notice_count(recs);
+    router_->stats(c).add(Counter::kWriteNoticesSent, notices);
+    if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, c, notices);
     contexts_[0]->apply_records(recs);
     // Master resumes after the last join message arrives.
     for (Rank r = 0; r < nprocs(); ++r)
@@ -166,6 +183,10 @@ void DsmSystem::parallel(const std::function<void(Rank)>& fn) {
     if (config_.context_of_rank(r) == 0) mclk.advance_to(join_times_[r]);
   mclk.skip_cpu();
 
+  // Quiescent point: every slave has run its epilogue and emits nothing
+  // until the next fork, so the rings can be drained safely.
+  if (tracer_ != nullptr) tracer_->drain_all();
+
   in_parallel_ = false;
 }
 
@@ -174,6 +195,7 @@ void DsmSystem::barrier() {
   const ContextId cid = config_.context_of_rank(rank);
   auto& clk = *clocks_[rank];
   clk.sync_cpu();
+  const double wait_t0 = clk.now_us();
 
   std::unique_lock<std::mutex> lk(bar_mutex_);
   const std::uint64_t mygen = bar_generation_;
@@ -193,13 +215,15 @@ void DsmSystem::barrier() {
     if (cid != 0) {
       const std::size_t bytes = vt_wire_size() + records_wire_size(recs);
       arrival_cost = router_->account_message(cid, 0, bytes);
-      router_->stats(cid).add(Counter::kWriteNoticesSent,
-                              records_notice_count(recs));
+      const auto notices = records_notice_count(recs);
+      router_->stats(cid).add(Counter::kWriteNoticesSent, notices);
+      if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, cid, notices);
       bar_pending_arrivals_.insert(bar_pending_arrivals_.end(),
                                    std::make_move_iterator(recs.begin()),
                                    std::make_move_iterator(recs.end()));
     }
     router_->stats(cid).add(Counter::kBarriers);
+    OMSP_TRACE_EVENT(kBarrierArrive, cid, mygen);
   }
   bar_max_arrival_ = std::max(bar_max_arrival_, clk.now_us() + arrival_cost);
 
@@ -214,12 +238,16 @@ void DsmSystem::barrier() {
       auto recs = contexts_[0]->records_unknown_to(bar_arrival_vt_[c]);
       const std::size_t bytes = vt_wire_size() + records_wire_size(recs);
       const double cost = router_->account_message(0, c, bytes);
-      router_->stats(0).add(Counter::kWriteNoticesSent,
-                            records_notice_count(recs));
+      const auto notices = records_notice_count(recs);
+      router_->stats(0).add(Counter::kWriteNoticesSent, notices);
+      if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, 0, notices);
       contexts_[c]->apply_records(recs);
       bar_departure_time_[c] = depart + cost;
     }
     maybe_collect_garbage();
+    // Every other worker is parked in the wait below — a quiescent point;
+    // drain so per-episode event volume, not per-run, sizes the rings.
+    if (tracer_ != nullptr) tracer_->drain_all();
     std::fill(bar_ctx_arrived_.begin(), bar_ctx_arrived_.end(), 0);
     bar_arrived_ = 0;
     bar_max_arrival_ = 0;
@@ -230,9 +258,12 @@ void DsmSystem::barrier() {
   }
   clk.advance_to(bar_departure_time_[cid]);
   clk.skip_cpu();
+  OMSP_TRACE_EVENT(kBarrierWait, cid, mygen, 0, std::uint16_t{0},
+                   clk.now_us() - wait_t0);
 }
 
-double DsmSystem::grant_lock(LockState& st, ContextId to_ctx, Rank to_rank) {
+double DsmSystem::grant_lock(LockId l, LockState& st, ContextId to_ctx,
+                             Rank to_rank) {
   const ContextId from = st.cached_at;
   OMSP_CHECK(from != to_ctx);
   // Releaser-side: close the interval so writes made under the lock become
@@ -242,8 +273,10 @@ double DsmSystem::grant_lock(LockState& st, ContextId to_ctx, Rank to_rank) {
       contexts_[to_ctx]->vt_snapshot());
   const std::size_t bytes = kLockGrantHeaderBytes + records_wire_size(recs);
   const double cost = router_->account_message(from, to_ctx, bytes);
-  router_->stats(from).add(Counter::kWriteNoticesSent,
-                           records_notice_count(recs));
+  const auto notices = records_notice_count(recs);
+  router_->stats(from).add(Counter::kWriteNoticesSent, notices);
+  if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, from, notices);
+  OMSP_TRACE_EVENT(kLockGrant, from, l, to_ctx);
   contexts_[to_ctx]->apply_records(recs);
 
   st.held = true;
@@ -258,6 +291,7 @@ void DsmSystem::lock_acquire(LockId l) {
   const ContextId cid = config_.context_of_rank(rank);
   auto& clk = *clocks_[rank];
   clk.sync_cpu();
+  const double acq_t0 = clk.now_us();
   router_->stats(cid).add(Counter::kLockAcquires);
 
   std::unique_lock<std::mutex> lk(locks_mutex_);
@@ -274,6 +308,8 @@ void DsmSystem::lock_acquire(LockId l) {
     st.holder_rank = rank;
     clk.advance_to(st.release_time);
     clk.skip_cpu();
+    OMSP_TRACE_EVENT(kLockAcquire, cid, l, 0, std::uint16_t{0},
+                     clk.now_us() - acq_t0);
     return;
   }
 
@@ -291,9 +327,11 @@ void DsmSystem::lock_acquire(LockId l) {
   }
 
   if (!st.held) {
-    const double grant_time = grant_lock(st, cid, rank);
+    const double grant_time = grant_lock(l, st, cid, rank);
     clk.advance_to(grant_time);
     clk.skip_cpu();
+    OMSP_TRACE_EVENT(kLockAcquire, cid, l, 0, trace::kFlagRemote,
+                     clk.now_us() - acq_t0);
     return;
   }
 
@@ -302,6 +340,8 @@ void DsmSystem::lock_acquire(LockId l) {
   locks_cv_.wait(lk, [&] { return waiter.granted; });
   clk.advance_to(waiter.grant_time);
   clk.skip_cpu();
+  OMSP_TRACE_EVENT(kLockAcquire, cid, l, 0, trace::kFlagRemote,
+                   clk.now_us() - acq_t0);
 }
 
 bool DsmSystem::lock_try_acquire(LockId l) {
@@ -309,6 +349,7 @@ bool DsmSystem::lock_try_acquire(LockId l) {
   const ContextId cid = config_.context_of_rank(rank);
   auto& clk = *clocks_[rank];
   clk.sync_cpu();
+  const double acq_t0 = clk.now_us();
 
   std::unique_lock<std::mutex> lk(locks_mutex_);
   LockState& st = locks_[l];
@@ -326,12 +367,14 @@ bool DsmSystem::lock_try_acquire(LockId l) {
     return false;
   }
   router_->stats(cid).add(Counter::kLockAcquires);
+  bool remote = false;
   if (st.cached_at == cid) {
     st.held = true;
     st.holder_ctx = cid;
     st.holder_rank = rank;
     clk.advance_to(st.release_time);
   } else {
+    remote = true;
     router_->stats(cid).add(Counter::kLockRemoteAcquires);
     const ContextId manager = l % config_.num_contexts();
     if (cid != manager)
@@ -341,9 +384,12 @@ bool DsmSystem::lock_try_acquire(LockId l) {
     if (manager != st.cached_at)
       clk.charge(router_->account_message(manager, st.cached_at,
                                           kLockRequestBytes + vt_wire_size()));
-    clk.advance_to(grant_lock(st, cid, rank));
+    clk.advance_to(grant_lock(l, st, cid, rank));
   }
   clk.skip_cpu();
+  OMSP_TRACE_EVENT(kLockAcquire, cid, l, 0,
+                   remote ? trace::kFlagRemote : std::uint16_t{0},
+                   clk.now_us() - acq_t0);
   return true;
 }
 
@@ -375,7 +421,7 @@ void DsmSystem::lock_release(LockId l) {
     st.holder_rank = w->rank;
     w->grant_time = clk.now_us();
   } else {
-    w->grant_time = grant_lock(st, w->ctx, w->rank);
+    w->grant_time = grant_lock(l, st, w->ctx, w->rank);
   }
   w->granted = true;
   locks_cv_.notify_all();
@@ -389,6 +435,7 @@ void DsmSystem::maybe_collect_garbage() {
   std::size_t stored = 0;
   for (auto& c : contexts_) stored += c->stored_diff_bytes();
   if (stored <= config_.gc_threshold_bytes) return;
+  OMSP_TRACE_EVENT(kGcEpisode, 0, stored);
 
   const std::uint32_t nc = config_.num_contexts();
   // Fixpoint: validating a page can flush a twin at its creator, which mints

@@ -36,6 +36,7 @@
 #include "tmk/context.hpp"
 #include "tmk/global_ptr.hpp"
 #include "tmk/heap_alloc.hpp"
+#include "trace/tracer.hpp"
 
 namespace omsp::tmk {
 
@@ -93,7 +94,16 @@ public:
   double master_time_us();
   StatsSnapshot stats() const { return router_->snapshot(); }
   StatsBoard& context_stats(ContextId c) { return router_->stats(c); }
-  void reset_stats() { router_->reset_stats(); }
+  // Resets counters AND discards buffered trace events together: the two are
+  // compared event-for-counter at finish time (docs/OBSERVABILITY.md), so
+  // they must always cover the same window.
+  void reset_stats() {
+    router_->reset_stats();
+    if (tracer_ != nullptr) tracer_->clear();
+  }
+  // The tracer owned by this system, or nullptr when tracing is off (or
+  // another DsmSystem already holds the process-global tracer slot).
+  trace::Tracer* tracer() { return tracer_.get(); }
 
 private:
   struct LockWaiter {
@@ -118,15 +128,16 @@ private:
   // TreadMarks-style GC, run by the barrier manager when stored diffs exceed
   // the configured threshold: validate everything, then drop history.
   void maybe_collect_garbage();
-  // Transfer lock `st` from st.cached_at to (to_ctx,to_rank); computes the
-  // grant time. locks_mutex_ held.
-  double grant_lock(LockState& st, ContextId to_ctx, Rank to_rank);
+  // Transfer lock `l` (state `st`) from st.cached_at to (to_ctx,to_rank);
+  // computes the grant time. locks_mutex_ held.
+  double grant_lock(LockId l, LockState& st, ContextId to_ctx, Rank to_rank);
 
   std::size_t vt_wire_size() const {
     return 4 + std::size_t{config_.num_contexts()} * sizeof(IntervalSeq);
   }
 
   Config config_;
+  std::unique_ptr<trace::Tracer> tracer_;
   std::unique_ptr<net::Router> router_;
   std::vector<std::unique_ptr<DsmContext>> contexts_;
   std::vector<std::unique_ptr<sim::VirtualClock>> clocks_;

@@ -1,0 +1,107 @@
+// omsp::trace — typed protocol events.
+//
+// One Event is a fixed-size, trivially-copyable record of a single protocol
+// action, stamped with the emitting thread's virtual clock and the context it
+// happened in. The taxonomy deliberately mirrors the StatsBoard counters:
+// every counter increment in the runtime has a corresponding event emission
+// at the same site, so a trace can be folded back into a StatsSnapshot and
+// compared against the live counters — a built-in consistency audit of the
+// stats layer (see reconstruct_counters in sinks.hpp and `omsp-trace check`).
+//
+// Field use per kind is documented on the enum; unused fields are zero.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+
+namespace omsp::trace {
+
+enum class EventKind : std::uint16_t {
+  // Counter-bearing events (each maps onto one or more StatsBoard counters).
+  kMessage = 0,      // arg0 = wire bytes (payload + header), arg1 = dst ctx;
+                     // kFlagOffNode when it crossed a physical node
+  kPageFault,        // arg0 = page; kFlagWrite; dur = fault service vtime
+  kTwinCreate,       // arg0 = page
+  kDiffCreate,       // arg0 = page, arg1 = encoded diff bytes
+  kDiffApply,        // arg0 = page, arg1 = encoded diff bytes
+  kMprotect,         // arg0 = page, arg1 = new protection (0/1/2 = N/R/RW)
+  kLockAcquire,      // arg0 = lock id; kFlagRemote; dur = acquire wait vtime
+  kLockGrant,        // arg0 = lock id, arg1 = acquiring ctx; emitted by releaser
+  kBarrierArrive,    // one per context per episode, arg0 = generation
+  kIntervalClose,    // arg0 = interval seq, arg1 = pages listed (write notices)
+  kWriteNoticesSent, // arg0 = notice count piggybacked on one release message
+  kWriteNoticesRecv, // arg0 = notice count incorporated from one record batch
+  kInvalidate,       // arg0 = page
+  kFullPageFetch,    // arg0 = page; home-based protocol page served by home
+
+  // Analysis-only events (no counter mapping).
+  kBarrierWait,      // per rank; arg0 = generation; dur = arrival..departure
+  kDiffFetch,        // arg0 = page, arg1 = reply bytes; kFlagOffNode per hop
+  kGcEpisode,        // arg0 = stored diff bytes that triggered the episode
+  kRegionBegin,      // arg0 = parallel region epoch (OpenMP layer)
+  kRegionEnd,        // arg0 = parallel region epoch
+  kCount
+};
+
+// Flag bits (Event::flags).
+inline constexpr std::uint16_t kFlagWrite = 1;   // kPageFault: write access
+inline constexpr std::uint16_t kFlagOffNode = 2; // crossed a physical node
+inline constexpr std::uint16_t kFlagRemote = 4;  // kLockAcquire: needed msgs
+
+inline const char* event_name(EventKind k) {
+  static constexpr std::array<const char*,
+                              static_cast<std::size_t>(EventKind::kCount)>
+      names = {"message",        "page_fault",   "twin_create",
+               "diff_create",    "diff_apply",   "mprotect",
+               "lock_acquire",   "lock_grant",   "barrier_arrive",
+               "interval_close", "notices_sent", "notices_recv",
+               "invalidate",     "full_page_fetch",
+               "barrier_wait",   "diff_fetch",   "gc_episode",
+               "region_begin",   "region_end"};
+  return names[static_cast<std::size_t>(k)];
+}
+
+struct Event {
+  double ts_us = 0;  // virtual-time START of the event on the emitter's clock
+  double dur_us = 0; // virtual-time duration (0 for instant events)
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  ContextId ctx = 0;      // DSM context the event is attributed to
+  std::uint32_t rank = 0; // emitting worker (global rank / thread track)
+  EventKind kind = EventKind::kMessage;
+  std::uint16_t flags = 0;
+
+  bool operator==(const Event&) const = default;
+};
+
+// Fixed wire encoding (44 bytes, little-endian like all protocol messages).
+inline constexpr std::size_t kEventWireBytes = 44;
+
+inline void serialize_event(const Event& e, ByteWriter& w) {
+  w.put<double>(e.ts_us);
+  w.put<double>(e.dur_us);
+  w.put<std::uint64_t>(e.arg0);
+  w.put<std::uint64_t>(e.arg1);
+  w.put<ContextId>(e.ctx);
+  w.put<std::uint32_t>(e.rank);
+  w.put<std::uint16_t>(static_cast<std::uint16_t>(e.kind));
+  w.put<std::uint16_t>(e.flags);
+}
+
+inline Event deserialize_event(ByteReader& r) {
+  Event e;
+  e.ts_us = r.get<double>();
+  e.dur_us = r.get<double>();
+  e.arg0 = r.get<std::uint64_t>();
+  e.arg1 = r.get<std::uint64_t>();
+  e.ctx = r.get<ContextId>();
+  e.rank = r.get<std::uint32_t>();
+  e.kind = static_cast<EventKind>(r.get<std::uint16_t>());
+  e.flags = r.get<std::uint16_t>();
+  return e;
+}
+
+} // namespace omsp::trace

@@ -1,0 +1,58 @@
+// Trace sinks and the trace→counters reconstruction.
+//
+// Two on-disk formats:
+//  * Binary (`.trace`) — the authoritative record: a small header (magic,
+//    version, drop count), the StatsSnapshot at finish time (name/value
+//    pairs, so the file is self-describing even if counters change), and the
+//    fixed-width event stream. `omsp-trace` consumes this.
+//  * Chrome trace_event JSON — opens directly in Perfetto / chrome://tracing
+//    with one process group per DSM context and one track per worker rank on
+//    the virtual-time axis. Duration events (faults, barrier waits, lock
+//    acquires) render as slices; everything else as instants.
+//
+// reconstruct_counters folds an event stream back into a StatsSnapshot using
+// the kind→counter mapping documented in event.hpp — the core of the
+// trace/stats consistency audit (`omsp-trace check` / `--self-check`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "trace/event.hpp"
+
+namespace omsp::trace {
+
+inline constexpr char kTraceMagic[8] = {'O', 'M', 'S', 'P',
+                                        'T', 'R', 'C', '1'};
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+struct TraceFile {
+  std::vector<Event> events;
+  std::uint64_t dropped = 0;   // events lost to full rings while recording
+  StatsSnapshot stats;         // counters embedded at finish time
+  std::vector<std::pair<std::string, std::uint64_t>> raw_counters; // as stored
+};
+
+// Serialize / parse the binary container (in-memory; tests use these).
+std::vector<std::uint8_t> encode_trace(const std::vector<Event>& events,
+                                       std::uint64_t dropped,
+                                       const StatsSnapshot& stats);
+TraceFile decode_trace(const std::uint8_t* data, std::size_t size);
+
+// File variants. Readers abort (OMSP_CHECK) on malformed input.
+void write_binary(const std::string& path, const std::vector<Event>& events,
+                  std::uint64_t dropped, const StatsSnapshot& stats);
+TraceFile read_binary(const std::string& path);
+
+// Chrome trace_event JSON (the "traceEvents" object form Perfetto accepts).
+std::string chrome_trace_json(const std::vector<Event>& events);
+void write_chrome_json(const std::string& path,
+                       const std::vector<Event>& events);
+
+// Fold the event stream back into counter totals. Events attributed to
+// context `ctx` land on that context's conceptual board, exactly like the
+// live StatsBoard increments; the returned snapshot is the all-context sum.
+StatsSnapshot reconstruct_counters(const std::vector<Event>& events);
+
+} // namespace omsp::trace

@@ -1,0 +1,346 @@
+// omsp-trace — analyzer CLI for omsp binary traces.
+//
+//   omsp-trace summary <run.trace>            event census + audit verdict
+//   omsp-trace pages   <run.trace> [--top N]  per-page fault/diff heatmap
+//   omsp-trace threads <run.trace>            per-rank virtual-time breakdown
+//   omsp-trace check   <run.trace>            trace totals vs embedded counters
+//   omsp-trace export  <run.trace> -o t.json  convert to Chrome trace JSON
+//   omsp-trace record  <sor|tsp> [--mode thread|process] [-o base]
+//                                             run an app with tracing enabled,
+//                                             write base.trace + base.json
+//   omsp-trace --self-check                   record SOR and TSP in both
+//                                             modes, audit each trace, exit
+//                                             non-zero on any mismatch
+//
+// The check/self-check audit is exact: every StatsBoard counter must equal
+// the total reconstructed from the trace (see reconstruct_counters), and the
+// trace must be lossless (no ring overflow drops).
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/sor.hpp"
+#include "apps/tsp.hpp"
+#include "trace/sinks.hpp"
+#include "trace/tracer.hpp"
+
+namespace {
+
+using namespace omsp;
+using namespace omsp::trace;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: omsp-trace <summary|pages|threads|check|export|record> ...\n"
+      "       omsp-trace --self-check\n");
+  return 2;
+}
+
+// ---------------------------------------------------------------------------
+
+void cmd_summary(const TraceFile& tf) {
+  std::map<EventKind, std::uint64_t> by_kind;
+  std::map<ContextId, std::uint64_t> by_ctx;
+  double tmax = 0;
+  for (const Event& e : tf.events) {
+    ++by_kind[e.kind];
+    ++by_ctx[e.ctx];
+    tmax = std::max(tmax, e.ts_us + e.dur_us);
+  }
+  std::printf("%zu events, %" PRIu64 " dropped, %.1f us of virtual time\n\n",
+              tf.events.size(), tf.dropped, tmax);
+  std::printf("%-18s %12s\n", "event", "count");
+  for (const auto& [kind, n] : by_kind)
+    std::printf("%-18s %12" PRIu64 "\n", event_name(kind), n);
+  std::printf("\n%-18s %12s\n", "context", "events");
+  for (const auto& [ctx, n] : by_ctx)
+    std::printf("ctx%-15u %12" PRIu64 "\n", ctx, n);
+}
+
+// ---------------------------------------------------------------------------
+
+struct PageRow {
+  std::uint64_t faults = 0, wfaults = 0, twins = 0, diffs_created = 0,
+                diffs_applied = 0, invalidations = 0, fetches = 0,
+                fetch_bytes = 0;
+  std::uint64_t total() const {
+    return faults + twins + diffs_created + diffs_applied + invalidations +
+           fetches;
+  }
+};
+
+void cmd_pages(const TraceFile& tf, std::size_t top) {
+  std::map<std::uint64_t, PageRow> pages;
+  for (const Event& e : tf.events) {
+    switch (e.kind) {
+    case EventKind::kPageFault:
+      ++pages[e.arg0].faults;
+      if (e.flags & kFlagWrite) ++pages[e.arg0].wfaults;
+      break;
+    case EventKind::kTwinCreate: ++pages[e.arg0].twins; break;
+    case EventKind::kDiffCreate: ++pages[e.arg0].diffs_created; break;
+    case EventKind::kDiffApply: ++pages[e.arg0].diffs_applied; break;
+    case EventKind::kInvalidate: ++pages[e.arg0].invalidations; break;
+    case EventKind::kDiffFetch:
+      ++pages[e.arg0].fetches;
+      pages[e.arg0].fetch_bytes += e.arg1;
+      break;
+    default: break;
+    }
+  }
+  std::vector<std::pair<std::uint64_t, PageRow>> rows(pages.begin(),
+                                                      pages.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total() > b.second.total();
+  });
+  std::printf("%zu pages with protocol activity; top %zu by event count:\n\n",
+              rows.size(), std::min(top, rows.size()));
+  std::printf("%8s %8s %8s %6s %8s %8s %8s %8s %10s\n", "page", "faults",
+              "wfaults", "twins", "diffs+", "diffs<", "invals", "fetches",
+              "fetchB");
+  for (std::size_t i = 0; i < rows.size() && i < top; ++i) {
+    const auto& [p, r] = rows[i];
+    std::printf("%8" PRIu64 " %8" PRIu64 " %8" PRIu64 " %6" PRIu64
+                " %8" PRIu64 " %8" PRIu64 " %8" PRIu64 " %8" PRIu64
+                " %10" PRIu64 "\n",
+                p, r.faults, r.wfaults, r.twins, r.diffs_created,
+                r.diffs_applied, r.invalidations, r.fetches, r.fetch_bytes);
+  }
+  // Coarse heatmap over the touched page range: fault density per bucket.
+  if (!pages.empty()) {
+    const std::uint64_t lo = pages.begin()->first;
+    const std::uint64_t hi = pages.rbegin()->first;
+    constexpr int kBuckets = 64;
+    std::vector<std::uint64_t> heat(kBuckets, 0);
+    const std::uint64_t span = hi - lo + 1;
+    for (const auto& [p, r] : pages)
+      heat[static_cast<std::size_t>((p - lo) * kBuckets / span)] += r.faults;
+    const std::uint64_t peak =
+        std::max<std::uint64_t>(1, *std::max_element(heat.begin(), heat.end()));
+    static const char* shades[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+    std::printf("\nfault heatmap, pages %" PRIu64 "..%" PRIu64 ": [", lo, hi);
+    for (const auto h : heat)
+      std::fputs(shades[h * 7 / peak], stdout);
+    std::printf("]\n");
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void cmd_threads(const TraceFile& tf) {
+  struct RankRow {
+    ContextId ctx = 0;
+    double span = 0, fault = 0, sync = 0;
+    std::uint64_t faults = 0, waits = 0;
+  };
+  std::map<std::uint32_t, RankRow> ranks;
+  for (const Event& e : tf.events) {
+    RankRow& r = ranks[e.rank];
+    r.span = std::max(r.span, e.ts_us + e.dur_us);
+    if (e.kind == EventKind::kPageFault) {
+      r.fault += e.dur_us;
+      ++r.faults;
+      r.ctx = e.ctx;
+    } else if (e.kind == EventKind::kBarrierWait ||
+               e.kind == EventKind::kLockAcquire) {
+      r.sync += e.dur_us;
+      ++r.waits;
+      r.ctx = e.ctx;
+    }
+  }
+  std::printf("per-rank virtual-time breakdown (us; compute = span - fault "
+              "service - sync wait):\n\n");
+  std::printf("%6s %6s %12s %12s %12s %12s %8s %8s\n", "rank", "ctx", "span",
+              "compute", "fault_svc", "sync_wait", "faults", "waits");
+  for (const auto& [rank, r] : ranks) {
+    const double compute = std::max(0.0, r.span - r.fault - r.sync);
+    std::printf("%6u %6u %12.1f %12.1f %12.1f %12.1f %8" PRIu64 " %8" PRIu64
+                "\n",
+                rank, r.ctx, r.span, compute, r.fault, r.sync, r.faults,
+                r.waits);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+// Audit one trace: reconstruct counters from events and compare with the
+// StatsSnapshot embedded at record time. Returns true when exact.
+bool audit(const TraceFile& tf, bool verbose) {
+  bool ok = true;
+  if (tf.dropped != 0) {
+    std::printf("FAIL: %" PRIu64 " events dropped to full rings — raise "
+                "Options::ring_events\n",
+                tf.dropped);
+    ok = false;
+  }
+  const StatsSnapshot rec = reconstruct_counters(tf.events);
+  if (verbose)
+    std::printf("%-22s %14s %14s %10s\n", "counter", "stats", "trace",
+                "delta");
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Counter::kCount); ++i) {
+    const auto c = static_cast<Counter>(i);
+    const std::uint64_t a = tf.stats[c], b = rec[c];
+    if (verbose || a != b)
+      std::printf("%-22s %14" PRIu64 " %14" PRIu64 " %10lld%s\n",
+                  counter_name(c), a, b,
+                  static_cast<long long>(b) - static_cast<long long>(a),
+                  a == b ? "" : "   <-- MISMATCH");
+    if (a != b) ok = false;
+  }
+  std::printf("%s\n", ok ? "OK: trace reconstructs every counter exactly"
+                         : "FAIL: trace/counter mismatch");
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+
+// Run one app with tracing enabled, writing base.trace (+ base.json).
+bool record_run(const std::string& app, tmk::Mode mode,
+                const std::string& base, bool json) {
+  tmk::Config cfg;
+  cfg.topology = sim::Topology(2, 2);
+  cfg.mode = mode;
+  cfg.trace.enabled = true;
+  cfg.trace.binary_path = base + ".trace";
+  if (json) cfg.trace.json_path = base + ".json";
+
+  apps::Result r;
+  if (app == "sor") {
+    apps::sor::Params p;
+    p.rows = 128;
+    p.cols = 64;
+    p.iters = 4;
+    r = apps::sor::run_omp(p, cfg);
+  } else if (app == "tsp") {
+    apps::tsp::Params p;
+    p.cities = 9;
+    p.solve_threshold = 5;
+    r = apps::tsp::run_omp(p, cfg);
+  } else {
+    std::fprintf(stderr, "unknown app '%s' (want sor|tsp)\n", app.c_str());
+    return false;
+  }
+  std::printf("recorded %s (%s mode): checksum %.6g, %.0f us simulated -> "
+              "%s.trace%s\n",
+              app.c_str(), mode == tmk::Mode::kThread ? "thread" : "process",
+              r.checksum, r.time_us, base.c_str(),
+              json ? (" + " + base + ".json").c_str() : "");
+  return true;
+}
+
+int self_check() {
+  struct Case {
+    const char* app;
+    tmk::Mode mode;
+    const char* name;
+  };
+  const Case cases[] = {
+      {"sor", tmk::Mode::kThread, "sor-thread"},
+      {"sor", tmk::Mode::kProcess, "sor-process"},
+      {"tsp", tmk::Mode::kThread, "tsp-thread"},
+      {"tsp", tmk::Mode::kProcess, "tsp-process"},
+  };
+  int failures = 0;
+  for (const Case& c : cases) {
+    const std::string base =
+        std::string("/tmp/omsp_selfcheck_") + c.name + "_" +
+        std::to_string(static_cast<unsigned>(::getpid()));
+    std::printf("=== %s ===\n", c.name);
+    if (!record_run(c.app, c.mode, base, /*json=*/false)) {
+      ++failures;
+      continue;
+    }
+    const TraceFile tf = read_binary(base + ".trace");
+    if (!audit(tf, /*verbose=*/false)) ++failures;
+    std::remove((base + ".trace").c_str());
+    std::printf("\n");
+  }
+  std::printf("self-check: %d of %zu cases failed\n", failures,
+              std::size(cases));
+  return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "--self-check") return self_check();
+
+  if (cmd == "record") {
+    if (argc < 3) return usage();
+    const std::string app = argv[2];
+    tmk::Mode mode = tmk::Mode::kThread;
+    std::string base = app;
+    for (int i = 3; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--mode" && i + 1 < argc) {
+        const std::string m = argv[++i];
+        if (m == "process")
+          mode = tmk::Mode::kProcess;
+        else if (m == "thread")
+          mode = tmk::Mode::kThread;
+        else {
+          std::fprintf(stderr, "unknown --mode '%s' (want thread|process)\n",
+                       m.c_str());
+          return 2;
+        }
+      } else if (a == "-o" && i + 1 < argc)
+        base = argv[++i];
+      else
+        return usage();
+    }
+    return record_run(app, mode, base, /*json=*/true) ? 0 : 1;
+  }
+
+  if (cmd != "summary" && cmd != "pages" && cmd != "threads" &&
+      cmd != "check" && cmd != "export")
+    return usage();
+  if (argc < 3) return usage();
+  // Friendly error for a mistyped path; read_binary OMSP_CHECK-aborts.
+  if (std::FILE* f = std::fopen(argv[2], "rb"); f == nullptr) {
+    std::fprintf(stderr, "omsp-trace: cannot open '%s'\n", argv[2]);
+    return 1;
+  } else {
+    std::fclose(f);
+  }
+  const TraceFile tf = read_binary(argv[2]);
+
+  if (cmd == "summary") {
+    cmd_summary(tf);
+    const bool ok = audit(tf, /*verbose=*/false);
+    return ok ? 0 : 1;
+  }
+  if (cmd == "pages") {
+    std::size_t top = 20;
+    for (int i = 3; i < argc; ++i)
+      if (std::string(argv[i]) == "--top" && i + 1 < argc)
+        top = static_cast<std::size_t>(std::atoll(argv[++i]));
+    cmd_pages(tf, top);
+    return 0;
+  }
+  if (cmd == "threads") {
+    cmd_threads(tf);
+    return 0;
+  }
+  if (cmd == "check") return audit(tf, /*verbose=*/true) ? 0 : 1;
+  if (cmd == "export") {
+    std::string out;
+    for (int i = 3; i < argc; ++i)
+      if (std::string(argv[i]) == "-o" && i + 1 < argc) out = argv[++i];
+    if (out.empty()) return usage();
+    write_chrome_json(out, tf.events);
+    std::printf("wrote %s (%zu events)\n", out.c_str(), tf.events.size());
+    return 0;
+  }
+  return usage();
+}

@@ -1,0 +1,177 @@
+// Low-overhead structured tracing for the DSM protocol.
+//
+// Design:
+//  * One process-global active Tracer (installed by the DsmSystem whose
+//    Config enabled tracing). Emission sites call the OMSP_TRACE_EVENT macro,
+//    which is a single relaxed atomic load plus a predicted-untaken branch
+//    when tracing is off — cheap enough for the fault and message hot paths.
+//  * Each emitting thread owns a single-producer/single-consumer ring buffer
+//    registered on first emission. Producers never take a lock and never
+//    block: a full ring drops the event and counts it (the drop counter is
+//    part of the trace header, and `omsp-trace check` refuses to certify a
+//    lossy trace).
+//  * Rings are drained at quiescent points — barrier episodes (every worker
+//    is parked), parallel-region joins, and system shutdown — into one
+//    collected vector that the sinks serialize.
+//  * Timestamps are the emitting thread's *virtual* clock, so exported traces
+//    line up with the simulated SP2 timeline, not host scheduling noise.
+//
+// Thread-track re-binding across DsmSystem lifetimes is handled with a global
+// generation counter: a cached thread-local ring is revalidated against the
+// active tracer's generation on every emit, so stale pointers from a
+// destroyed tracer are never dereferenced.
+//
+// Define OMSP_TRACE_COMPILED_OUT to compile every emission site down to
+// nothing (the "compile-time-cheap" escape hatch for overhead audits).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/virtual_clock.hpp"
+#include "trace/event.hpp"
+
+namespace omsp::trace {
+
+// Tracing configuration, embedded in tmk::Config as `config.trace`.
+struct Options {
+  bool enabled = false;
+  // Per-thread ring capacity in events (rounded up to a power of two).
+  // Rings are drained at every barrier episode, so this bounds the events
+  // emitted between two quiescent points, not per run.
+  std::size_t ring_events = 1u << 16;
+  // Sink paths written at system shutdown; empty = skip that sink.
+  std::string binary_path; // raw events + embedded StatsSnapshot (omsp-trace)
+  std::string json_path;   // Chrome trace_event JSON (Perfetto/chrome://tracing)
+
+  // Environment fallback: OMSP_TRACE_BIN=<path> / OMSP_TRACE_JSON=<path>
+  // enable tracing with the given sink(s) without touching code.
+  static Options from_env();
+};
+
+// SPSC ring: the owning thread pushes, the quiescent-point drainer pops.
+class Ring {
+public:
+  explicit Ring(std::size_t capacity);
+
+  // Producer side. Returns false (and counts a drop) when full.
+  bool push(const Event& e) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    if (h - t >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[h & mask_] = e;
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side: pop everything currently published, in emission order.
+  template <typename Fn> void drain(Fn&& fn) {
+    std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    for (; t != h; ++t) fn(slots_[t & mask_]);
+    tail_.store(t, std::memory_order_release);
+  }
+
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void reset_dropped() { dropped_.store(0, std::memory_order_relaxed); }
+  std::size_t capacity() const { return slots_.size(); }
+
+private:
+  std::vector<Event> slots_;
+  std::uint64_t mask_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+class Tracer {
+public:
+  explicit Tracer(Options opts);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // --- global activation ----------------------------------------------------
+  // At most one tracer is active at a time; install() is a no-op (returns
+  // false) if another is already active.
+  bool install();
+  void uninstall();
+  static Tracer* active() {
+    return g_active.load(std::memory_order_relaxed);
+  }
+
+  // Bind the calling thread's track id (the global rank). Plain thread-local
+  // store; called unconditionally by the worker pool.
+  static void bind_thread(std::uint32_t track);
+
+  // --- emission (hot path; use the macro) -----------------------------------
+  void emit(EventKind kind, ContextId ctx, std::uint64_t arg0 = 0,
+            std::uint64_t arg1 = 0, std::uint16_t flags = 0,
+            double dur_us = 0);
+
+  // --- quiescent-point operations -------------------------------------------
+  // Pop every ring into the collected vector. Safe whenever no thread is
+  // emitting concurrently with its own ring being drained twice (the SPSC
+  // contract); the runtime calls it only while workers are parked.
+  void drain_all();
+  // Drained events so far (drain_all first for completeness).
+  const std::vector<Event>& events() const { return collected_; }
+  std::vector<Event> snapshot_events() {
+    drain_all();
+    return collected_;
+  }
+  // Total events dropped to full rings since the last clear().
+  std::uint64_t dropped_total() const;
+  // Drop all collected events and reset drop counters. Paired with
+  // StatsBoard::reset so trace totals and counters stay comparable.
+  void clear();
+
+  // Drain everything and write the configured sinks, embedding `stats` (the
+  // counter snapshot the trace must reconcile with) in the binary header.
+  void finish(const StatsSnapshot& stats);
+
+  const Options& options() const { return opts_; }
+
+private:
+  Ring* local_ring();
+
+  static std::atomic<Tracer*> g_active;
+
+  Options opts_;
+  std::uint64_t generation_;
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+
+  std::mutex collect_mutex_;
+  std::vector<Event> collected_;
+  std::uint64_t dropped_before_clear_ = 0; // from rings retired by clear()
+};
+
+} // namespace omsp::trace
+
+// Emission macro. `kind_` is the bare EventKind member name; remaining
+// arguments forward to Tracer::emit (arg0, arg1, flags, dur_us).
+#ifdef OMSP_TRACE_COMPILED_OUT
+#define OMSP_TRACE_EVENT(kind_, ctx_, ...)                                     \
+  do {                                                                         \
+  } while (0)
+#else
+#define OMSP_TRACE_EVENT(kind_, ctx_, ...)                                     \
+  do {                                                                         \
+    if (::omsp::trace::Tracer* omsp_tr_ = ::omsp::trace::Tracer::active();     \
+        omsp_tr_ != nullptr) [[unlikely]]                                      \
+      omsp_tr_->emit(::omsp::trace::EventKind::kind_, (ctx_), ##__VA_ARGS__);  \
+  } while (0)
+#endif
