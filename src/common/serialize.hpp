@@ -18,6 +18,15 @@
 
 namespace omsp {
 
+// Serialized size of a length-prefixed span of n elements of T — the single
+// source of wire-layout arithmetic for put_span/get_span payloads, so code
+// that pre-accounts message volumes can never drift from the encoder.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+constexpr std::size_t span_wire_size(std::size_t n) {
+  return sizeof(std::uint32_t) + n * sizeof(T);
+}
+
 class ByteWriter {
 public:
   ByteWriter() = default;

@@ -151,8 +151,13 @@ void Team::for_chunks(std::int64_t lo, std::int64_t hi, Schedule sched,
       if (cid != 0) {
         auto* clock = sim::VirtualClock::current();
         if (clock != nullptr) {
-          clock->charge(rt_.dsm_.router().account_message(cid, 0, 16));
-          clock->charge(rt_.dsm_.router().account_message(0, cid, 16));
+          auto& transport = rt_.dsm_.router().transport();
+          const std::size_t bytes =
+              net::msg_fixed_bytes(net::MsgType::kLoopChunk);
+          clock->charge(transport.notify(
+              net::Envelope::notice(cid, 0, net::MsgType::kLoopChunk, bytes)));
+          clock->charge(transport.notify(
+              net::Envelope::notice(0, cid, net::MsgType::kLoopChunk, bytes)));
           clock->charge(rt_.dsm_.config().cost.lock_service_us);
         }
       }
@@ -175,8 +180,13 @@ void Team::for_chunks(std::int64_t lo, std::int64_t hi, Schedule sched,
       if (cid != 0) {
         auto* clock = sim::VirtualClock::current();
         if (clock != nullptr) {
-          clock->charge(rt_.dsm_.router().account_message(cid, 0, 16));
-          clock->charge(rt_.dsm_.router().account_message(0, cid, 16));
+          auto& transport = rt_.dsm_.router().transport();
+          const std::size_t bytes =
+              net::msg_fixed_bytes(net::MsgType::kLoopChunk);
+          clock->charge(transport.notify(
+              net::Envelope::notice(cid, 0, net::MsgType::kLoopChunk, bytes)));
+          clock->charge(transport.notify(
+              net::Envelope::notice(0, cid, net::MsgType::kLoopChunk, bytes)));
           clock->charge(rt_.dsm_.config().cost.lock_service_us);
         }
       }

@@ -41,8 +41,10 @@ void MpiWorld::run(const std::function<void(Comm&)>& fn) {
 void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
   OMSP_CHECK(dst >= 0 && dst < size());
   clock_.sync_cpu();
-  const double cost = world_.router_->account_message(
-      static_cast<ContextId>(rank_), static_cast<ContextId>(dst), bytes);
+  const double cost = world_.router_->transport().notify(
+      net::Envelope::notice(static_cast<ContextId>(rank_),
+                            static_cast<ContextId>(dst),
+                            net::MsgType::kMpiData, bytes));
   MpiWorld::Message msg;
   msg.src = rank_;
   msg.tag = tag;

@@ -1,0 +1,138 @@
+// Central message-type registry and the Envelope — the typed identity of
+// every message that crosses a context boundary.
+//
+// The paper's protocol is defined by its messages (Table 2): diff
+// request/reply, whole-page fetch, lock request/forward/grant, barrier
+// arrival/departure, fork descriptors and join notices. Before this registry
+// existed those identities were scattered: the tmk layer had private
+// kMsg* constants, system.cc accounted lock/barrier/fork traffic with ad-hoc
+// byte constants and no type at all, and the MPI layer accounted anonymous
+// payloads. Here every message type has one enumerator, a printable name
+// (used by `omsp-trace summary`/`export`), and its fixed descriptor size —
+// the wire bytes a real implementation would spend on the request/notice
+// header beyond the per-message framing (kHeaderBytes).
+//
+// An Envelope names one message instance: source and destination context,
+// typed message id, the payload (materialized bytes for request/reply calls,
+// or an accounted byte count for notifications whose payload the simulator
+// applies by direct invocation), and trace flags OR-ed into the emitted
+// `message` trace event (e.g. trace::kFlagPerturbed on injected duplicates).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+
+namespace omsp::net {
+
+// Per-message fixed framing overhead (src, dst, type, length), counted into
+// byte totals the way TreadMarks counts its message headers.
+inline constexpr std::size_t kHeaderBytes = 16;
+
+// Every message type in the system. Values are part of the wire/trace
+// encoding (they appear in trace files); append, never renumber.
+enum class MsgType : std::uint16_t {
+  kNone = 0,          // unset / unknown
+  kDiffRequest = 1,   // lazy LRC: fetch stored diffs from their writer
+  kDiffToHome = 2,    // home-based LRC: eager diff posted to the page's home
+  kPageRequest = 3,   // home-based LRC: whole-page fetch from the home
+  kForkDescriptor,    // Tmk_fork: region fn id + arg block + piggybacked records
+  kJoinNotice,        // Tmk_join: slave release notice back to the master
+  kBarrierArrival,    // barrier: vt + records to the manager
+  kBarrierDeparture,  // barrier: vt + records from the manager
+  kLockRequest,       // lock: acquirer -> manager
+  kLockForward,       // lock: manager -> last holder
+  kLockGrant,         // lock: releaser -> acquirer, piggybacking records
+  kGcRecords,         // GC fixpoint: interval-record exchange at a barrier
+  kLoopChunk,         // dynamic/guided loop chunk grab round trip
+  kMpiData,           // MPI layer point-to-point payload
+  kCount
+};
+
+inline const char* msg_name(MsgType t) {
+  static constexpr std::array<const char*,
+                              static_cast<std::size_t>(MsgType::kCount)>
+      names = {"none",          "diff_request",  "diff_to_home",
+               "page_request",  "fork",          "join",
+               "barrier_arrival", "barrier_departure", "lock_request",
+               "lock_forward",  "lock_grant",    "gc_records",
+               "loop_chunk",    "mpi_data"};
+  const auto i = static_cast<std::size_t>(t);
+  return i < names.size() ? names[i] : "invalid";
+}
+
+// Fixed request/notice descriptor size in wire bytes (beyond kHeaderBytes and
+// any variable payload). These are the constants formerly scattered through
+// system.cc / runtime.cc; Table 2 byte totals depend on them.
+inline std::size_t msg_fixed_bytes(MsgType t) {
+  switch (t) {
+  case MsgType::kForkDescriptor:
+  case MsgType::kJoinNotice:
+    return 48; // region function id + argument block header (§3.2)
+  case MsgType::kLockRequest:
+  case MsgType::kLockForward:
+    return 16; // lock id + requester identity
+  case MsgType::kLockGrant:
+    return 16; // lock id + grant header, before piggybacked records
+  case MsgType::kLoopChunk:
+    return 16; // shared loop index request/grant
+  default:
+    return 0;
+  }
+}
+
+// One message instance. For request/reply calls `payload` views the
+// serialized request; for accounting-only notifications (whose content the
+// simulator applies by direct invocation) `accounted_bytes` carries the size
+// the wire transport would have moved.
+struct Envelope {
+  ContextId src = 0;
+  ContextId dst = 0;
+  MsgType type = MsgType::kNone;
+  std::span<const std::uint8_t> payload{};
+  std::size_t accounted_bytes = 0;
+  std::uint16_t trace_flags = 0;
+
+  std::size_t payload_size() const {
+    return payload.empty() ? accounted_bytes : payload.size();
+  }
+
+  static Envelope request(ContextId src, ContextId dst, MsgType type,
+                          const ByteWriter& w) {
+    Envelope e;
+    e.src = src;
+    e.dst = dst;
+    e.type = type;
+    e.payload = {w.data(), w.size()};
+    return e;
+  }
+
+  static Envelope notice(ContextId src, ContextId dst, MsgType type,
+                         std::size_t bytes) {
+    Envelope e;
+    e.src = src;
+    e.dst = dst;
+    e.type = type;
+    e.accounted_bytes = bytes;
+    return e;
+  }
+};
+
+// The `message` trace event packs (type, dst) into arg1 so analyzers can
+// report traffic by message *name* (the registry's) per destination.
+inline std::uint64_t message_trace_arg1(MsgType type, ContextId dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(type)) << 32) |
+         dst;
+}
+inline MsgType message_type_of_arg1(std::uint64_t arg1) {
+  return static_cast<MsgType>(static_cast<std::uint16_t>(arg1 >> 32));
+}
+inline ContextId message_dst_of_arg1(std::uint64_t arg1) {
+  return static_cast<ContextId>(arg1 & 0xffffffffu);
+}
+
+} // namespace omsp::net

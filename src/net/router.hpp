@@ -2,18 +2,23 @@
 //
 // The paper's TreadMarks sends UDP messages between processes and services
 // them in SIGIO handlers. Here the whole cluster lives in one process, so a
-// "message" is: serialize the request, account and charge it on the sender's
-// counters/clock, run the destination's handler directly (the destination
-// object does its own locking), serialize the reply, account and charge it on
-// the destination's counters and the requester's clock. Message counts and
-// byte volumes — the Table 2 quantities — are therefore identical to what a
-// wire transport would record; only the executing thread differs.
+// "message" is an Envelope delivered by a Transport (net/transport.hpp): the
+// default InlineTransport serializes the request, accounts and charges it on
+// the sender's counters/clock, runs the destination's handler directly (the
+// destination object does its own locking), then accounts and charges the
+// reply. Message counts and byte volumes — the Table 2 quantities — are
+// therefore identical to what a wire transport would record; only the
+// executing thread differs.
 //
-// The router also classifies traffic as intra-node (shared-memory transport)
-// or inter-node (SP2 switch) from the context->node map, which drives both
-// the off-node counters and the cost model.
+// The Router is the part that stays fixed across transports: the
+// context->node map that classifies traffic as intra-node (shared-memory
+// transport) or inter-node (SP2 switch), the per-context StatsBoards, the
+// handler table, and the accounting rule (account()) every transport funnels
+// deliveries through so counters and trace events stay paired no matter how
+// a message reached its destination.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -22,24 +27,13 @@
 #include "common/serialize.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "net/message.hpp"
+#include "net/transport.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/virtual_clock.hpp"
 #include "trace/tracer.hpp"
 
 namespace omsp::net {
-
-// Per-message fixed framing overhead (src, dst, type, length), counted into
-// byte totals the way TreadMarks counts its message headers.
-inline constexpr std::size_t kHeaderBytes = 16;
-
-// A context's inbound request dispatcher. Implementations must be safe to
-// call from any thread; they lock their own state.
-class MessageHandler {
-public:
-  virtual ~MessageHandler() = default;
-  virtual void handle(ContextId src, std::uint16_t type, ByteReader& request,
-                      ByteWriter& reply) = 0;
-};
 
 class Router {
 public:
@@ -49,9 +43,13 @@ public:
         stats_(context_node_.size()) {
     handlers_.resize(context_node_.size(), nullptr);
     for (auto& s : stats_) s = std::make_unique<StatsBoard>();
+    for (const NodeId n : context_node_)
+      num_nodes_ = std::max(num_nodes_, static_cast<std::uint32_t>(n) + 1);
+    transport_ = std::make_unique<InlineTransport>(*this);
   }
 
   std::size_t num_contexts() const { return context_node_.size(); }
+  std::uint32_t num_nodes() const { return num_nodes_; }
   NodeId node_of(ContextId c) const {
     OMSP_DCHECK(c < context_node_.size());
     return context_node_[c];
@@ -65,12 +63,25 @@ public:
     handlers_[c] = handler;
   }
 
+  MessageHandler* handler(ContextId c) const {
+    OMSP_CHECK(c < handlers_.size());
+    return handlers_[c];
+  }
+
   StatsBoard& stats(ContextId c) {
     OMSP_DCHECK(c < stats_.size());
     return *stats_[c];
   }
 
   const sim::CostModel& model() const { return model_; }
+
+  // The delivery layer. Protocol code sends through this — request/reply via
+  // transport().call(env), one-way notifications via transport().notify(env).
+  Transport& transport() { return *transport_; }
+  void set_transport(std::unique_ptr<Transport> t) {
+    OMSP_CHECK(t != nullptr);
+    transport_ = std::move(t);
+  }
 
   // Aggregate counters over all contexts.
   StatsSnapshot snapshot() const {
@@ -83,44 +94,28 @@ public:
     for (auto& b : stats_) b->reset();
   }
 
-  // Account one one-way message of `payload_bytes` and return its modeled
-  // one-way cost in microseconds. Used directly by MPI and by notifications;
-  // request/reply traffic goes through call().
-  double account_message(ContextId src, ContextId dst,
-                         std::size_t payload_bytes) {
-    const bool same = same_node(src, dst);
-    const std::size_t bytes = payload_bytes + kHeaderBytes;
-    auto& board = *stats_[src];
+  // The single accounting rule every transport funnels deliveries through:
+  // add kHeaderBytes framing, bump the sender's message/byte counters (plus
+  // the off-node pair when the link crosses a physical node), emit the paired
+  // `message` trace event, and return the modeled one-way cost in
+  // microseconds. The event packs (type, dst) into arg1 so analyzers can
+  // report traffic by registry name; env.trace_flags (e.g. kFlagPerturbed on
+  // injected duplicates) are OR-ed into the event flags.
+  double account(const Envelope& env) {
+    const bool same = same_node(env.src, env.dst);
+    const std::size_t bytes = env.payload_size() + kHeaderBytes;
+    auto& board = *stats_[env.src];
     board.add(Counter::kMsgsSent);
     board.add(Counter::kBytesSent, bytes);
     if (!same) {
       board.add(Counter::kMsgsOffNode);
       board.add(Counter::kBytesOffNode, bytes);
     }
-    OMSP_TRACE_EVENT(kMessage, src, bytes, dst,
-                     same ? 0 : trace::kFlagOffNode);
+    OMSP_TRACE_EVENT(kMessage, env.src, bytes,
+                     message_trace_arg1(env.type, env.dst),
+                     static_cast<std::uint16_t>(
+                         env.trace_flags | (same ? 0 : trace::kFlagOffNode)));
     return model_.message_us(bytes, same);
-  }
-
-  // Request/reply round trip from `src` to `dst`. Charges the calling
-  // thread's virtual clock for both directions plus handler service time.
-  // Returns the reply payload.
-  std::vector<std::uint8_t> call(ContextId src, ContextId dst,
-                                 std::uint16_t type, const ByteWriter& request) {
-    OMSP_CHECK(dst < handlers_.size());
-    OMSP_CHECK_MSG(handlers_[dst] != nullptr, "destination has no handler");
-
-    auto* clock = sim::VirtualClock::current();
-    const double req_cost = account_message(src, dst, request.size());
-    if (clock != nullptr) clock->charge(req_cost + model_.handler_service_us);
-
-    ByteWriter reply;
-    ByteReader reader(request.bytes());
-    handlers_[dst]->handle(src, type, reader, reply);
-
-    const double reply_cost = account_message(dst, src, reply.size());
-    if (clock != nullptr) clock->charge(reply_cost);
-    return reply.take();
   }
 
 private:
@@ -128,6 +123,8 @@ private:
   sim::CostModel model_;
   std::vector<std::unique_ptr<StatsBoard>> stats_;
   std::vector<MessageHandler*> handlers_;
+  std::uint32_t num_nodes_ = 0;
+  std::unique_ptr<Transport> transport_;
 };
 
 } // namespace omsp::net

@@ -1,0 +1,154 @@
+#include "net/transport.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "net/router.hpp"
+#include "sim/virtual_clock.hpp"
+#include "trace/event.hpp"
+
+namespace omsp::net {
+
+// ---------------------------------------------------------------------------
+// InlineTransport
+
+InlineTransport::InlineTransport(Router& router)
+    : router_(router), nnodes_(router.num_nodes()) {
+  if (nnodes_ > 0) {
+    link_inflight_ = std::make_unique<std::atomic<std::uint32_t>[]>(
+        static_cast<std::size_t>(nnodes_) * nnodes_);
+  }
+}
+
+double InlineTransport::contention_us(const Envelope& env,
+                                      std::size_t wire_bytes) {
+  const auto& m = router_.model();
+  double extra = m.occupancy_us(wire_bytes);
+  if (m.link_contention_us > 0 && link_inflight_ != nullptr) {
+    const std::size_t link =
+        static_cast<std::size_t>(router_.node_of(env.src)) * nnodes_ +
+        router_.node_of(env.dst);
+    // Messages already in flight on this link queue ahead of us.
+    extra += m.link_contention_us *
+             link_inflight_[link].load(std::memory_order_relaxed);
+  }
+  return extra;
+}
+
+std::vector<std::uint8_t> InlineTransport::call(const Envelope& env) {
+  MessageHandler* handler = router_.handler(env.dst);
+  OMSP_CHECK_MSG(handler != nullptr, "destination has no handler");
+
+  auto* clock = sim::VirtualClock::current();
+  const auto& model = router_.model();
+
+  const bool track = model.link_contention_us > 0 && link_inflight_ != nullptr;
+  const std::size_t link =
+      track ? static_cast<std::size_t>(router_.node_of(env.src)) * nnodes_ +
+                  router_.node_of(env.dst)
+            : 0;
+  const double req_extra =
+      contention_us(env, env.payload_size() + kHeaderBytes);
+  if (track) link_inflight_[link].fetch_add(1, std::memory_order_relaxed);
+
+  const double req_cost = router_.account(env);
+  if (clock != nullptr)
+    clock->charge(req_cost + req_extra + model.handler_service_us);
+
+  ByteWriter reply;
+  ByteReader reader(env.payload);
+  handler->handle(env.src, env.type, reader, reply);
+
+  if (track) link_inflight_[link].fetch_sub(1, std::memory_order_relaxed);
+
+  Envelope rep;
+  rep.src = env.dst;
+  rep.dst = env.src;
+  rep.type = env.type;
+  rep.payload = {reply.data(), reply.size()};
+  rep.trace_flags = env.trace_flags;
+  const double reply_cost = router_.account(rep);
+  if (clock != nullptr)
+    clock->charge(reply_cost + contention_us(rep, reply.size() + kHeaderBytes));
+  return reply.take();
+}
+
+double InlineTransport::notify(const Envelope& env) {
+  return router_.account(env) +
+         contention_us(env, env.payload_size() + kHeaderBytes);
+}
+
+// ---------------------------------------------------------------------------
+// PerturbOptions
+
+PerturbOptions PerturbOptions::from_env() {
+  PerturbOptions o;
+  if (const char* s = std::getenv("OMSP_PERTURB_SEED"); s != nullptr && *s) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end != s && v != 0) {
+      o.enabled = true;
+      o.seed = v;
+    }
+  }
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// PerturbingTransport
+
+PerturbingTransport::PerturbingTransport(std::unique_ptr<Transport> inner,
+                                         PerturbOptions opts)
+    : inner_(std::move(inner)), opts_(opts), rng_(opts.seed) {}
+
+PerturbingTransport::Draw PerturbingTransport::draw(bool one_way) {
+  std::lock_guard lock(mutex_);
+  Draw d;
+  if (opts_.jitter_max_us > 0)
+    d.jitter_us = rng_.next_double(0.0, opts_.jitter_max_us);
+  d.duplicate = rng_.next_bool(opts_.duplicate_prob);
+  if (one_way && rng_.next_bool(opts_.reorder_prob)) {
+    d.reorder = true;
+    d.jitter_us += rng_.next_double(0.0, opts_.reorder_max_us);
+  }
+  stats_.jitter_us += d.jitter_us;
+  if (d.duplicate) ++stats_.duplicates;
+  if (d.reorder) ++stats_.reorders;
+  return d;
+}
+
+std::vector<std::uint8_t> PerturbingTransport::call(const Envelope& env) {
+  const Draw d = draw(/*one_way=*/false);
+  auto reply = inner_->call(env);
+  if (auto* clock = sim::VirtualClock::current();
+      clock != nullptr && d.jitter_us > 0)
+    clock->charge(d.jitter_us);
+  if (d.duplicate) {
+    // Retransmission: the destination handler runs again on the same request
+    // and must converge (idempotence contract); the first reply stands.
+    Envelope dup = env;
+    dup.trace_flags =
+        static_cast<std::uint16_t>(dup.trace_flags | trace::kFlagPerturbed);
+    (void)inner_->call(dup);
+  }
+  return reply;
+}
+
+double PerturbingTransport::notify(const Envelope& env) {
+  const Draw d = draw(/*one_way=*/true);
+  double cost = inner_->notify(env) + d.jitter_us;
+  if (d.duplicate) {
+    Envelope dup = env;
+    dup.trace_flags =
+        static_cast<std::uint16_t>(dup.trace_flags | trace::kFlagPerturbed);
+    cost += inner_->notify(dup);
+  }
+  return cost;
+}
+
+PerturbStats PerturbingTransport::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+} // namespace omsp::net

@@ -1,0 +1,143 @@
+// Transport — the pluggable delivery layer below the protocol.
+//
+// The Router names endpoints, classifies links, owns the per-context stats
+// boards and the handler table; a Transport decides *how* an Envelope
+// reaches its destination and what it costs. Protocol code builds an
+// Envelope and calls `router.transport().call(env)` (request/reply) or
+// `.notify(env)` (one-way, accounting + modeled cost); it never constructs
+// wire framing or touches counters itself.
+//
+// Two implementations:
+//  * InlineTransport — the seed semantics, bit-for-bit: serialize, account
+//    and charge on the sender, run the destination handler on the calling
+//    thread, account and charge the reply. With the cost model's
+//    occupancy/contention knobs at their zero defaults, every counter and
+//    every charged microsecond is identical to the pre-transport Router.
+//  * PerturbingTransport — a seeded fault-injection decorator in the spirit
+//    of the UDP/IP networks real SDSM systems ran on (TreadMarks serviced
+//    retransmitted requests in SIGIO handlers): latency jitter, bounded
+//    reordering of one-way notifications (modeled as a delivery-time
+//    hold-back: a later message on the link overtakes the held one), and
+//    duplicate delivery that re-runs the destination handler — the live
+//    proof that DsmContext::handle is idempotent. All draws come from one
+//    seeded generator, so a single-threaded message sequence perturbs
+//    reproducibly; injected deliveries carry trace::kFlagPerturbed.
+//
+// Idempotence contract for handlers (docs/PROTOCOL.md "Transport layer"):
+// any handler reachable through call() must tolerate re-delivery of the same
+// request — state convergent (second apply is a byte-level no-op), reply
+// equivalent — because a lossy transport retransmits and duplicates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace omsp::net {
+
+class Router;
+
+// A context's inbound request dispatcher. Implementations must be safe to
+// call from any thread; they lock their own state. Handlers must be
+// idempotent under re-delivery (see transport contract above).
+class MessageHandler {
+public:
+  virtual ~MessageHandler() = default;
+  virtual void handle(ContextId src, MsgType type, ByteReader& request,
+                      ByteWriter& reply) = 0;
+};
+
+class Transport {
+public:
+  virtual ~Transport() = default;
+
+  // Request/reply round trip. Accounts both directions, charges the calling
+  // thread's virtual clock, runs the destination handler, returns the reply.
+  virtual std::vector<std::uint8_t> call(const Envelope& env) = 0;
+
+  // One-way message whose content the caller applies by direct invocation.
+  // Accounts it on the sender's board and returns the modeled one-way cost
+  // in microseconds (the caller decides whose clock absorbs it).
+  virtual double notify(const Envelope& env) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// Today's exact semantics: the destination handler runs inline on the
+// caller's thread. Also the layer where the cost model's per-link
+// occupancy/contention knobs are charged (zero by default).
+class InlineTransport final : public Transport {
+public:
+  explicit InlineTransport(Router& router);
+
+  std::vector<std::uint8_t> call(const Envelope& env) override;
+  double notify(const Envelope& env) override;
+  const char* name() const override { return "inline"; }
+
+private:
+  // Occupancy + queueing surcharge for one message of `wire_bytes` on the
+  // src->dst link; 0 with the default cost model.
+  double contention_us(const Envelope& env, std::size_t wire_bytes);
+
+  Router& router_;
+  // In-flight call() count per (src node, dst node) link, maintained only
+  // when the contention knob is enabled.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> link_inflight_;
+  std::uint32_t nnodes_ = 0;
+};
+
+// Deterministic perturbation parameters. `enabled` gates construction by
+// DsmSystem; OMSP_PERTURB_SEED=<n> enables from the environment with the
+// default rates below.
+struct PerturbOptions {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+  double jitter_max_us = 25.0;   // uniform extra latency per delivery
+  double duplicate_prob = 0.05;  // re-deliver a request / re-account a notice
+  double reorder_prob = 0.10;    // hold a one-way notice back...
+  double reorder_max_us = 50.0;  // ...by up to this long (bounded overtaking)
+
+  static PerturbOptions from_env();
+};
+
+struct PerturbStats {
+  std::uint64_t duplicates = 0; // injected re-deliveries
+  std::uint64_t reorders = 0;   // held-back one-way notifications
+  double jitter_us = 0;         // total injected latency (jitter + hold-back)
+};
+
+class PerturbingTransport final : public Transport {
+public:
+  PerturbingTransport(std::unique_ptr<Transport> inner, PerturbOptions opts);
+
+  std::vector<std::uint8_t> call(const Envelope& env) override;
+  double notify(const Envelope& env) override;
+  const char* name() const override { return "perturbing"; }
+
+  PerturbStats stats() const;
+  const PerturbOptions& options() const { return opts_; }
+  Transport& inner() { return *inner_; }
+
+private:
+  struct Draw {
+    double jitter_us = 0;
+    bool duplicate = false;
+    bool reorder = false;
+  };
+  Draw draw(bool one_way);
+
+  std::unique_ptr<Transport> inner_;
+  PerturbOptions opts_;
+  mutable std::mutex mutex_; // guards rng_ and stats_
+  Rng rng_;
+  PerturbStats stats_;
+};
+
+} // namespace omsp::net

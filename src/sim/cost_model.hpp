@@ -32,6 +32,14 @@ struct CostModel {
   double shm_latency_us = 10.0;   // intra-node message through shared memory
   double shm_bw_bytes_per_us = 150.0;
 
+  // Transport-layer knobs, charged per message by the Transport (not folded
+  // into message_us): sender-side occupancy (fixed + per wire byte) and a
+  // queueing penalty per message already in flight on the same src->dst node
+  // link. Zero by default so the base model is unchanged.
+  double send_occupancy_us = 0.0;
+  double occupancy_byte_us = 0.0;
+  double link_contention_us = 0.0;
+
   // --- VM / protocol service costs ----------------------------------------
   double mprotect_us = 15.0;      // one mprotect system call
   double fault_dispatch_us = 40.0; // SIGSEGV trap + kernel + handler entry
@@ -47,6 +55,11 @@ struct CostModel {
   // Host CPU seconds -> simulated seconds. A 1999 PowerPC 604e (~200 MHz)
   // versus a modern x86 core is roughly a factor of 50 on these kernels.
   double cpu_scale = 50.0;
+
+  // Sender-side occupancy surcharge for one message of `bytes` on the wire.
+  double occupancy_us(std::size_t bytes) const {
+    return send_occupancy_us + occupancy_byte_us * static_cast<double>(bytes);
+  }
 
   // One-way cost of a message of `bytes` payload.
   double message_us(std::size_t bytes, bool same_node) const {

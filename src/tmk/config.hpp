@@ -15,6 +15,7 @@
 
 #include "common/check.hpp"
 #include "common/mathutil.hpp"
+#include "net/transport.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/topology.hpp"
 #include "trace/tracer.hpp"
@@ -61,6 +62,12 @@ struct Config {
   // OMSP_TRACE_BIN / OMSP_TRACE_JSON environment variables override this at
   // DsmSystem construction when trace.enabled is false.
   trace::Options trace;
+
+  // Seeded transport fault injection (net::PerturbingTransport): latency
+  // jitter, bounded reordering of notifications and duplicate delivery. Off
+  // by default; OMSP_PERTURB_SEED=<n> overrides at DsmSystem construction
+  // when perturb.enabled is false.
+  net::PerturbOptions perturb;
 
   bool use_alias_mapping() const {
     return alias_mapping.value_or(mode == Mode::kThread);

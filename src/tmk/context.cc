@@ -237,7 +237,8 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
       req.put<IntervalSeq>(need.have);
       req.put<IntervalSeq>(need.want);
       my_vt.serialize(req);
-      auto reply = router_.call(id_, need.creator, kMsgDiffRequest, req);
+      auto reply = router_.transport().call(net::Envelope::request(
+          id_, need.creator, net::MsgType::kDiffRequest, req));
       OMSP_TRACE_EVENT(kDiffFetch, id_, p, reply.size(),
                        router_.same_node(id_, need.creator)
                            ? std::uint16_t{0}
@@ -304,10 +305,10 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
   meta.fetch_in_progress = false;
 }
 
-void DsmContext::handle(ContextId src, std::uint16_t type, ByteReader& request,
+void DsmContext::handle(ContextId src, net::MsgType type, ByteReader& request,
                         ByteWriter& reply) {
   (void)src;
-  if (type == kMsgDiffToHome) {
+  if (type == net::MsgType::kDiffToHome) {
     const auto p = request.get<PageId>();
     OMSP_CHECK(home_of(p) == id_);
     const auto bytes = request.get_span<std::uint8_t>();
@@ -317,7 +318,7 @@ void DsmContext::handle(ContextId src, std::uint16_t type, ByteReader& request,
     OMSP_TRACE_EVENT(kDiffApply, id_, p, bytes.size());
     return;
   }
-  if (type == kMsgPageRequest) {
+  if (type == net::MsgType::kPageRequest) {
     const auto p = request.get<PageId>();
     OMSP_CHECK(home_of(p) == id_);
     std::lock_guard<std::mutex> pl(page_lock(p));
@@ -329,7 +330,8 @@ void DsmContext::handle(ContextId src, std::uint16_t type, ByteReader& request,
     OMSP_TRACE_EVENT(kFullPageFetch, id_, p, kPageSize);
     return;
   }
-  OMSP_CHECK_MSG(type == kMsgDiffRequest, "unknown tmk message type");
+  OMSP_CHECK_MSG(type == net::MsgType::kDiffRequest,
+                 "unknown tmk message type");
   const auto p = request.get<PageId>();
   const auto have = request.get<IntervalSeq>();
   (void)request.get<IntervalSeq>(); // want — informational
@@ -433,7 +435,8 @@ void DsmContext::fetch_from_home(PageId p,
     lock.unlock();
     ByteWriter req;
     req.put<PageId>(p);
-    auto reply = router_.call(id_, home_of(p), kMsgPageRequest, req);
+    auto reply = router_.transport().call(net::Envelope::request(
+        id_, home_of(p), net::MsgType::kPageRequest, req));
     lock.lock();
 
     ByteReader r(reply);
@@ -592,7 +595,8 @@ std::optional<IntervalRecord> DsmContext::close_interval() {
         ByteWriter msg;
         msg.put<PageId>(p);
         msg.put_span<std::uint8_t>({diff.data(), diff.size()});
-        (void)router_.call(id_, home_of(p), kMsgDiffToHome, msg);
+        (void)router_.transport().call(net::Envelope::request(
+            id_, home_of(p), net::MsgType::kDiffToHome, msg));
       }
       meta.twin.reset();
       meta.written_since_flush = false;

@@ -69,13 +69,6 @@
 
 namespace omsp::tmk {
 
-// Router message types used by the context.
-inline constexpr std::uint16_t kMsgDiffRequest = 1;
-// Home-based protocol: eager diff posted to the page's home at a release,
-// and a whole-page fetch from the home at a fault.
-inline constexpr std::uint16_t kMsgDiffToHome = 2;
-inline constexpr std::uint16_t kMsgPageRequest = 3;
-
 enum class PageState : std::uint8_t { kInvalid, kRead, kReadWrite };
 
 class DsmContext final : public FaultTarget, public net::MessageHandler {
@@ -95,7 +88,12 @@ public:
   void on_fault(void* addr, bool is_write) override;
 
   // --- remote requests (net::MessageHandler) -------------------------------
-  void handle(ContextId src, std::uint16_t type, ByteReader& request,
+  // Idempotent under re-delivery (the Transport contract): a duplicate
+  // kDiffRequest finds the twin already consumed and ships the same stored
+  // diffs again; a duplicate kDiffToHome re-applies byte-identical diffs; a
+  // duplicate kPageRequest is a pure read. A lossy/perturbing transport may
+  // therefore retransmit any of these without corrupting page contents.
+  void handle(ContextId src, net::MsgType type, ByteReader& request,
               ByteWriter& reply) override;
 
   // --- release / acquire protocol ------------------------------------------

@@ -41,10 +41,10 @@ struct IntervalRecord {
   }
 
   // Serialized size (used to pre-account message volumes without an extra
-  // encode pass).
+  // encode pass). Must match serialize() exactly.
   std::size_t wire_size() const {
-    return sizeof(ContextId) + sizeof(IntervalSeq) + 4 +
-           vt.size() * sizeof(IntervalSeq) + 4 + pages.size() * sizeof(PageId);
+    return sizeof(ContextId) + sizeof(IntervalSeq) + vt.wire_size() +
+           span_wire_size<PageId>(pages.size());
   }
 };
 

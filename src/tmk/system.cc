@@ -9,11 +9,15 @@ namespace omsp::tmk {
 namespace {
 thread_local Rank t_current_rank = 0;
 
-// Fixed size of a fork descriptor (region function id + argument block
-// header), matching the small Tmk_fork message of §3.2.
-constexpr std::size_t kForkDescriptorBytes = 48;
-constexpr std::size_t kLockRequestBytes = 16;
-constexpr std::size_t kLockGrantHeaderBytes = 16;
+// Fixed descriptor sizes come from the message registry (net/message.hpp) so
+// Table 2 byte totals have a single source of truth.
+using net::MsgType;
+const std::size_t kForkDescriptorBytes =
+    net::msg_fixed_bytes(MsgType::kForkDescriptor);
+const std::size_t kLockRequestBytes =
+    net::msg_fixed_bytes(MsgType::kLockRequest);
+const std::size_t kLockGrantHeaderBytes =
+    net::msg_fixed_bytes(MsgType::kLockGrant);
 } // namespace
 
 Rank DsmSystem::current_rank() { return t_current_rank; }
@@ -39,6 +43,14 @@ DsmSystem::DsmSystem(Config config)
     context_node[c] = config_.node_of_context(c);
   router_ = std::make_unique<net::Router>(std::move(context_node),
                                           config_.cost);
+
+  // Optional fault injection below the protocol: Config-plumbed, with
+  // OMSP_PERTURB_SEED=<n> as the code-free enable (mirrors tracing above).
+  net::PerturbOptions perturb = config_.perturb;
+  if (!perturb.enabled) perturb = net::PerturbOptions::from_env();
+  if (perturb.enabled)
+    router_->set_transport(std::make_unique<net::PerturbingTransport>(
+        std::make_unique<net::InlineTransport>(*router_), perturb));
 
   contexts_.reserve(nc);
   for (ContextId c = 0; c < nc; ++c)
@@ -140,7 +152,7 @@ void DsmSystem::parallel(const std::function<void(Rank)>& fn) {
   for (ContextId c = 1; c < config_.num_contexts(); ++c) {
     auto recs = contexts_[0]->records_unknown_to(contexts_[c]->vt_snapshot());
     const std::size_t bytes = kForkDescriptorBytes + records_wire_size(recs);
-    const double cost = router_->account_message(0, c, bytes);
+    const double cost = notify(0, c, MsgType::kForkDescriptor, bytes);
     const auto notices = records_notice_count(recs);
     router_->stats(0).add(Counter::kWriteNoticesSent, notices);
     if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, 0, notices);
@@ -169,7 +181,7 @@ void DsmSystem::parallel(const std::function<void(Rank)>& fn) {
   for (ContextId c = 1; c < config_.num_contexts(); ++c) {
     auto recs = contexts_[c]->records_unknown_to(contexts_[0]->vt_snapshot());
     const std::size_t bytes = kForkDescriptorBytes + records_wire_size(recs);
-    const double cost = router_->account_message(c, 0, bytes);
+    const double cost = notify(c, 0, MsgType::kJoinNotice, bytes);
     const auto notices = records_notice_count(recs);
     router_->stats(c).add(Counter::kWriteNoticesSent, notices);
     if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, c, notices);
@@ -214,7 +226,7 @@ void DsmSystem::barrier() {
     bar_arrival_vt_[cid] = contexts_[cid]->vt_snapshot();
     if (cid != 0) {
       const std::size_t bytes = vt_wire_size() + records_wire_size(recs);
-      arrival_cost = router_->account_message(cid, 0, bytes);
+      arrival_cost = notify(cid, 0, MsgType::kBarrierArrival, bytes);
       const auto notices = records_notice_count(recs);
       router_->stats(cid).add(Counter::kWriteNoticesSent, notices);
       if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, cid, notices);
@@ -237,7 +249,7 @@ void DsmSystem::barrier() {
     for (ContextId c = 1; c < config_.num_contexts(); ++c) {
       auto recs = contexts_[0]->records_unknown_to(bar_arrival_vt_[c]);
       const std::size_t bytes = vt_wire_size() + records_wire_size(recs);
-      const double cost = router_->account_message(0, c, bytes);
+      const double cost = notify(0, c, MsgType::kBarrierDeparture, bytes);
       const auto notices = records_notice_count(recs);
       router_->stats(0).add(Counter::kWriteNoticesSent, notices);
       if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, 0, notices);
@@ -272,7 +284,7 @@ double DsmSystem::grant_lock(LockId l, LockState& st, ContextId to_ctx,
   auto recs = contexts_[from]->records_unknown_to(
       contexts_[to_ctx]->vt_snapshot());
   const std::size_t bytes = kLockGrantHeaderBytes + records_wire_size(recs);
-  const double cost = router_->account_message(from, to_ctx, bytes);
+  const double cost = notify(from, to_ctx, MsgType::kLockGrant, bytes);
   const auto notices = records_notice_count(recs);
   router_->stats(from).add(Counter::kWriteNoticesSent, notices);
   if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, from, notices);
@@ -316,14 +328,14 @@ void DsmSystem::lock_acquire(LockId l) {
   router_->stats(cid).add(Counter::kLockRemoteAcquires);
   const ContextId manager = l % config_.num_contexts();
   if (cid != manager) {
-    clk.charge(router_->account_message(cid, manager, kLockRequestBytes +
-                                                          vt_wire_size()));
+    clk.charge(notify(cid, manager, MsgType::kLockRequest,
+                      kLockRequestBytes + vt_wire_size()));
   }
   clk.charge(config_.cost.lock_service_us);
   if (manager != st.cached_at) {
     // Manager forwards the request to the last holder.
-    clk.charge(router_->account_message(manager, st.cached_at,
-                                        kLockRequestBytes + vt_wire_size()));
+    clk.charge(notify(manager, st.cached_at, MsgType::kLockForward,
+                      kLockRequestBytes + vt_wire_size()));
   }
 
   if (!st.held) {
@@ -362,7 +374,10 @@ bool DsmSystem::lock_try_acquire(LockId l) {
     // that round trip unless the manager is local.
     const ContextId manager = l % config_.num_contexts();
     if (cid != manager)
-      clk.charge(2 * router_->account_message(cid, manager, kLockRequestBytes));
+      // One accounted message, two charged hops: the "busy" reply carries no
+      // payload worth accounting but the round trip still takes time.
+      clk.charge(2 * notify(cid, manager, MsgType::kLockRequest,
+                            kLockRequestBytes));
     clk.skip_cpu();
     return false;
   }
@@ -378,12 +393,12 @@ bool DsmSystem::lock_try_acquire(LockId l) {
     router_->stats(cid).add(Counter::kLockRemoteAcquires);
     const ContextId manager = l % config_.num_contexts();
     if (cid != manager)
-      clk.charge(router_->account_message(cid, manager,
-                                          kLockRequestBytes + vt_wire_size()));
+      clk.charge(notify(cid, manager, MsgType::kLockRequest,
+                        kLockRequestBytes + vt_wire_size()));
     clk.charge(config_.cost.lock_service_us);
     if (manager != st.cached_at)
-      clk.charge(router_->account_message(manager, st.cached_at,
-                                          kLockRequestBytes + vt_wire_size()));
+      clk.charge(notify(manager, st.cached_at, MsgType::kLockForward,
+                        kLockRequestBytes + vt_wire_size()));
     clk.advance_to(grant_lock(l, st, cid, rank));
   }
   clk.skip_cpu();
@@ -446,12 +461,12 @@ void DsmSystem::maybe_collect_garbage() {
     // Pull every record into context 0, then push the union to everyone.
     for (ContextId c = 1; c < nc; ++c) {
       auto recs = contexts_[c]->records_unknown_to(contexts_[0]->vt_snapshot());
-      router_->account_message(c, 0, records_wire_size(recs));
+      notify(c, 0, MsgType::kGcRecords, records_wire_size(recs));
       contexts_[0]->apply_records(recs);
     }
     for (ContextId c = 1; c < nc; ++c) {
       auto recs = contexts_[0]->records_unknown_to(contexts_[c]->vt_snapshot());
-      router_->account_message(0, c, records_wire_size(recs));
+      notify(0, c, MsgType::kGcRecords, records_wire_size(recs));
       contexts_[c]->apply_records(recs);
     }
     std::uint64_t seq_sum_before = 0;

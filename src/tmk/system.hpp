@@ -132,8 +132,18 @@ private:
   // computes the grant time. locks_mutex_ held.
   double grant_lock(LockId l, LockState& st, ContextId to_ctx, Rank to_rank);
 
+  // Send a typed one-way notification through the transport layer; returns
+  // the modeled one-way cost. The payload itself (interval records, vector
+  // times) is applied by direct invocation right after — this accounts the
+  // bytes a wire transport would have moved.
+  double notify(ContextId src, ContextId dst, net::MsgType type,
+                std::size_t bytes) {
+    return router_->transport().notify(
+        net::Envelope::notice(src, dst, type, bytes));
+  }
+
   std::size_t vt_wire_size() const {
-    return 4 + std::size_t{config_.num_contexts()} * sizeof(IntervalSeq);
+    return VectorTime::wire_size(config_.num_contexts());
   }
 
   Config config_;

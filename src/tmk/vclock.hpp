@@ -66,6 +66,13 @@ public:
     return vt;
   }
 
+  // Serialized size, for pre-accounting message volumes without an encode
+  // pass. Must match serialize() exactly.
+  std::size_t wire_size() const { return wire_size(size()); }
+  static constexpr std::size_t wire_size(std::uint32_t ncontexts) {
+    return span_wire_size<IntervalSeq>(ncontexts);
+  }
+
   bool operator==(const VectorTime&) const = default;
 
 private:

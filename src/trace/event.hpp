@@ -21,8 +21,10 @@ namespace omsp::trace {
 
 enum class EventKind : std::uint16_t {
   // Counter-bearing events (each maps onto one or more StatsBoard counters).
-  kMessage = 0,      // arg0 = wire bytes (payload + header), arg1 = dst ctx;
-                     // kFlagOffNode when it crossed a physical node
+  kMessage = 0,      // arg0 = wire bytes (payload + header),
+                     // arg1 = (msg type << 32) | dst ctx (net/message.hpp);
+                     // kFlagOffNode when it crossed a physical node,
+                     // kFlagPerturbed on transport-injected duplicates
   kPageFault,        // arg0 = page; kFlagWrite; dur = fault service vtime
   kTwinCreate,       // arg0 = page
   kDiffCreate,       // arg0 = page, arg1 = encoded diff bytes
@@ -50,6 +52,8 @@ enum class EventKind : std::uint16_t {
 inline constexpr std::uint16_t kFlagWrite = 1;   // kPageFault: write access
 inline constexpr std::uint16_t kFlagOffNode = 2; // crossed a physical node
 inline constexpr std::uint16_t kFlagRemote = 4;  // kLockAcquire: needed msgs
+inline constexpr std::uint16_t kFlagPerturbed = 8; // injected by the
+                                                   // perturbing transport
 
 inline const char* event_name(EventKind k) {
   static constexpr std::array<const char*,

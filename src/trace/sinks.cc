@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/serialize.hpp"
+#include "net/message.hpp"
 #include "trace/tracer.hpp"
 
 namespace omsp::trace {
@@ -86,8 +87,12 @@ void append_args(std::string& out, const Event& e) {
   switch (e.kind) {
   case EventKind::kMessage:
     std::snprintf(buf, sizeof buf,
-                  "{\"bytes\":%" PRIu64 ",\"dst\":%" PRIu64 ",\"offnode\":%d}",
-                  e.arg0, e.arg1, (e.flags & kFlagOffNode) ? 1 : 0);
+                  "{\"bytes\":%" PRIu64 ",\"type\":\"%s\",\"dst\":%u,"
+                  "\"offnode\":%d,\"perturbed\":%d}",
+                  e.arg0, net::msg_name(net::message_type_of_arg1(e.arg1)),
+                  net::message_dst_of_arg1(e.arg1),
+                  (e.flags & kFlagOffNode) ? 1 : 0,
+                  (e.flags & kFlagPerturbed) ? 1 : 0);
     break;
   case EventKind::kPageFault:
     std::snprintf(buf, sizeof buf, "{\"page\":%" PRIu64 ",\"write\":%d}",

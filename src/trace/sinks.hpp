@@ -25,7 +25,9 @@ namespace omsp::trace {
 
 inline constexpr char kTraceMagic[8] = {'O', 'M', 'S', 'P',
                                         'T', 'R', 'C', '1'};
-inline constexpr std::uint32_t kTraceVersion = 1;
+// Version 2: kMessage packs (msg type << 32) | dst ctx into arg1 so
+// analyzers can report traffic by registry name (net/message.hpp).
+inline constexpr std::uint32_t kTraceVersion = 2;
 
 struct TraceFile {
   std::vector<Event> events;

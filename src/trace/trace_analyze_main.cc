@@ -28,6 +28,7 @@
 
 #include "apps/sor.hpp"
 #include "apps/tsp.hpp"
+#include "net/message.hpp"
 #include "trace/sinks.hpp"
 #include "trace/tracer.hpp"
 
@@ -47,19 +48,39 @@ int usage() {
 // ---------------------------------------------------------------------------
 
 void cmd_summary(const TraceFile& tf) {
+  struct MsgRow {
+    std::uint64_t count = 0, bytes = 0, offnode = 0, perturbed = 0;
+  };
   std::map<EventKind, std::uint64_t> by_kind;
   std::map<ContextId, std::uint64_t> by_ctx;
+  std::map<net::MsgType, MsgRow> by_msg;
   double tmax = 0;
   for (const Event& e : tf.events) {
     ++by_kind[e.kind];
     ++by_ctx[e.ctx];
     tmax = std::max(tmax, e.ts_us + e.dur_us);
+    if (e.kind == EventKind::kMessage) {
+      MsgRow& row = by_msg[net::message_type_of_arg1(e.arg1)];
+      ++row.count;
+      row.bytes += e.arg0;
+      if (e.flags & kFlagOffNode) ++row.offnode;
+      if (e.flags & kFlagPerturbed) ++row.perturbed;
+    }
   }
   std::printf("%zu events, %" PRIu64 " dropped, %.1f us of virtual time\n\n",
               tf.events.size(), tf.dropped, tmax);
   std::printf("%-18s %12s\n", "event", "count");
   for (const auto& [kind, n] : by_kind)
     std::printf("%-18s %12" PRIu64 "\n", event_name(kind), n);
+  if (!by_msg.empty()) {
+    std::printf("\n%-18s %10s %12s %10s %10s\n", "message", "count", "bytes",
+                "offnode", "perturbed");
+    for (const auto& [type, row] : by_msg)
+      std::printf("%-18s %10" PRIu64 " %12" PRIu64 " %10" PRIu64 " %10" PRIu64
+                  "\n",
+                  net::msg_name(type), row.count, row.bytes, row.offnode,
+                  row.perturbed);
+  }
   std::printf("\n%-18s %12s\n", "context", "events");
   for (const auto& [ctx, n] : by_ctx)
     std::printf("ctx%-15u %12" PRIu64 "\n", ctx, n);

@@ -1,5 +1,5 @@
-// Router unit tests: request/reply dispatch, traffic accounting, locality
-// classification and virtual-time charging.
+// Router unit tests: request/reply dispatch through the transport, traffic
+// accounting, locality classification and virtual-time charging.
 #include <gtest/gtest.h>
 
 #include "net/router.hpp"
@@ -9,7 +9,7 @@ namespace {
 
 class EchoHandler : public MessageHandler {
 public:
-  void handle(ContextId src, std::uint16_t type, ByteReader& request,
+  void handle(ContextId src, MsgType type, ByteReader& request,
               ByteWriter& reply) override {
     last_src = src;
     last_type = type;
@@ -19,7 +19,7 @@ public:
     ++calls;
   }
   ContextId last_src = kInvalidContext;
-  std::uint16_t last_type = 0;
+  MsgType last_type = MsgType::kNone;
   int calls = 0;
 };
 
@@ -36,11 +36,12 @@ TEST(Router, CallDispatchesAndEchoes) {
   ByteWriter req;
   std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
   req.put_span<std::uint8_t>({payload.data(), payload.size()});
-  auto reply = router.call(0, 2, 77, req);
+  auto reply = router.transport().call(
+      Envelope::request(0, 2, MsgType::kDiffRequest, req));
 
   EXPECT_EQ(echo.calls, 1);
   EXPECT_EQ(echo.last_src, 0u);
-  EXPECT_EQ(echo.last_type, 77);
+  EXPECT_EQ(echo.last_type, MsgType::kDiffRequest);
   ByteReader r(reply);
   EXPECT_EQ(r.get_span<std::uint8_t>(), payload);
   EXPECT_EQ(r.get<std::uint32_t>(), 5u);
@@ -53,7 +54,8 @@ TEST(Router, AccountsBothDirections) {
   ByteWriter req;
   std::vector<std::uint8_t> payload(100, 9);
   req.put_span<std::uint8_t>({payload.data(), payload.size()});
-  (void)router.call(0, 2, 1, req);
+  (void)router.transport().call(
+      Envelope::request(0, 2, MsgType::kDiffRequest, req));
 
   const auto s = router.snapshot();
   EXPECT_EQ(s[Counter::kMsgsSent], 2u);      // request + reply
@@ -70,7 +72,8 @@ TEST(Router, IntraNodeNotCountedOffNode) {
   router.bind_handler(1, &echo);
   ByteWriter req;
   req.put_span<std::uint8_t>({});
-  (void)router.call(0, 1, 1, req);
+  (void)router.transport().call(
+      Envelope::request(0, 1, MsgType::kDiffRequest, req));
   const auto s = router.snapshot();
   EXPECT_EQ(s[Counter::kMsgsSent], 2u);
   EXPECT_EQ(s[Counter::kMsgsOffNode], 0u);
@@ -88,26 +91,47 @@ TEST(Router, ChargesCallerClock) {
   sim::VirtualClock::Binder bind(&clock);
   ByteWriter req;
   req.put_span<std::uint8_t>({});
-  (void)router.call(0, 2, 1, req);
+  (void)router.transport().call(
+      Envelope::request(0, 2, MsgType::kDiffRequest, req));
   // Two one-way latencies + service.
   EXPECT_NEAR(clock.now_us(), 105.0, 1.0);
 }
 
-TEST(Router, AccountMessageReturnsModeledCost) {
+TEST(Router, NotifyReturnsModeledCost) {
   sim::CostModel model = sim::CostModel::zero();
   model.shm_latency_us = 10;
   model.shm_bw_bytes_per_us = 100;
   auto router = make_router(model);
-  const double cost = router.account_message(0, 1, 1000 - kHeaderBytes);
+  const double cost = router.transport().notify(
+      Envelope::notice(0, 1, MsgType::kLockRequest, 1000 - kHeaderBytes));
   EXPECT_NEAR(cost, 10 + 1000.0 / 100, 1e-9);
 }
 
 TEST(Router, ResetStatsClears) {
   auto router = make_router();
-  router.account_message(0, 2, 10);
+  router.transport().notify(Envelope::notice(0, 2, MsgType::kGcRecords, 10));
   EXPECT_GT(router.snapshot()[Counter::kMsgsSent], 0u);
   router.reset_stats();
   EXPECT_EQ(router.snapshot()[Counter::kMsgsSent], 0u);
+}
+
+TEST(Router, RegistryNamesAndSizes) {
+  EXPECT_STREQ(msg_name(MsgType::kDiffRequest), "diff_request");
+  EXPECT_STREQ(msg_name(MsgType::kMpiData), "mpi_data");
+  EXPECT_STREQ(msg_name(static_cast<MsgType>(999)), "invalid");
+  EXPECT_EQ(msg_fixed_bytes(MsgType::kForkDescriptor), 48u);
+  EXPECT_EQ(msg_fixed_bytes(MsgType::kLockRequest), 16u);
+  EXPECT_EQ(msg_fixed_bytes(MsgType::kDiffRequest), 0u);
+  // Stable wire/trace values: these appear in serialized traces.
+  EXPECT_EQ(static_cast<std::uint16_t>(MsgType::kDiffRequest), 1);
+  EXPECT_EQ(static_cast<std::uint16_t>(MsgType::kDiffToHome), 2);
+  EXPECT_EQ(static_cast<std::uint16_t>(MsgType::kPageRequest), 3);
+}
+
+TEST(Router, TraceArg1PacksTypeAndDst) {
+  const auto arg1 = message_trace_arg1(MsgType::kBarrierArrival, 7);
+  EXPECT_EQ(message_type_of_arg1(arg1), MsgType::kBarrierArrival);
+  EXPECT_EQ(message_dst_of_arg1(arg1), 7u);
 }
 
 } // namespace
