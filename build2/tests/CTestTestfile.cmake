@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/tmk_system_test[1]_include.cmake")
+include("/root/repo/build2/tests/core_runtime_test[1]_include.cmake")
+include("/root/repo/build2/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build2/tests/apps_test[1]_include.cmake")
+include("/root/repo/build2/tests/common_test[1]_include.cmake")
+include("/root/repo/build2/tests/sim_test[1]_include.cmake")
+include("/root/repo/build2/tests/net_test[1]_include.cmake")
+include("/root/repo/build2/tests/trace_test[1]_include.cmake")
+include("/root/repo/build2/tests/tmk_unit_test[1]_include.cmake")
+include("/root/repo/build2/tests/translate_test[1]_include.cmake")
