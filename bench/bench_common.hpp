@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -42,24 +43,118 @@ inline tmk::Config paper_config(tmk::Mode mode,
   return cfg;
 }
 
+// Problem-size tier: the regular bench sizes (scaled below the paper's but
+// calibrated for the tables), or the CI smoke tier — small enough to run in
+// seconds, still exercising every protocol path. Selected once per process
+// by parse_bench_args(--smoke) before all_apps() materializes its params.
+inline bool g_smoke = false;
+
 // Scaled problem sizes (paper's sizes in comments).
 inline apps::sor::Params sor_params() {
+  if (g_smoke) return {128, 64, 4, 1.0};
   return {512, 256, 20, 1.0}; // paper: 8192 x 4096, 20 iterations
 }
 inline apps::mgs::Params mgs_params() {
+  if (g_smoke) return {64, 64, 3};
   return {256, 256, 7}; // paper: 2048 x 2048
 }
 inline apps::tsp::Params tsp_params() {
+  if (g_smoke) return {9, 42, 5};
   return {13, 42, 10}; // paper: 19 cities, -r14
 }
 inline apps::water::Params water_params() {
+  if (g_smoke) return {128, 2, 1e-3, 0.3, 11};
   return {512, 3, 1e-3, 0.3, 11}; // paper: 4096 molecules, 4 steps
 }
 inline apps::fft3d::Params fft_params() {
+  // nx and nz must stay divisible by the 16 MPI ranks.
+  if (g_smoke) return {32, 16, 16, 2, 2};
   return {64, 64, 32, 4, 5}; // paper: 128 x 128 x 64, 10 iterations
 }
 inline apps::barnes::Params barnes_params() {
+  if (g_smoke) return {256, 2, 0.7, 0.02, 0.05, 17};
   return {2048, 3, 0.7, 0.02, 0.05, 17}; // paper: 65536 bodies
+}
+
+// Shared CLI for the table/figure benches: `--smoke` switches to the CI
+// problem sizes, `--json <path>` additionally writes machine-readable rows
+// (scripts/bench_smoke.sh merges them into BENCH_pr3.json).
+struct BenchArgs {
+  bool smoke = false;
+  std::string json_path;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs a;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      a.smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      a.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  g_smoke = a.smoke;
+  return a;
+}
+
+// Minimal JSON emitter for the bench rows — flat enough that a hand-rolled
+// writer beats a dependency.
+class JsonObject {
+public:
+  void add(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    fields_.push_back("\"" + key + "\": " + buf);
+  }
+  void add(const std::string& key, std::uint64_t v) {
+    fields_.push_back("\"" + key + "\": " + std::to_string(v));
+  }
+  void add(const std::string& key, bool v) {
+    fields_.push_back(std::string("\"") + key + "\": " + (v ? "true" : "false"));
+  }
+  void add(const std::string& key, const std::string& raw_value) {
+    fields_.push_back("\"" + key + "\": " + raw_value);
+  }
+  void add_string(const std::string& key, const std::string& s) {
+    fields_.push_back("\"" + key + "\": \"" + s + "\"");
+  }
+  std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += fields_[i];
+    }
+    return out + "}";
+  }
+
+private:
+  std::vector<std::string> fields_;
+};
+
+// Stats of one app run as a JSON object (the quantities the drift check and
+// the perf trajectory care about).
+inline std::string run_json(const apps::Result& r) {
+  JsonObject o;
+  o.add("time_us", r.time_us);
+  o.add("msgs", r.stats[Counter::kMsgsSent]);
+  o.add("bytes", r.stats[Counter::kBytesSent]);
+  o.add("offnode_msgs", r.stats[Counter::kMsgsOffNode]);
+  o.add("offnode_bytes", r.stats[Counter::kBytesOffNode]);
+  return o.str();
+}
+
+inline void write_json_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fputs(body.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
 }
 
 struct AppEntry {

@@ -16,9 +16,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace omsp;
   using namespace omsp::bench;
+
+  const BenchArgs args = parse_bench_args(argc, argv);
 
   std::printf("Figure 1: speedups on 4 nodes x 4 processors (16-way)\n");
   print_rule(86);
@@ -26,6 +28,7 @@ int main() {
               "OpenMP/thread", "MPI", "thr/MPI", "thread vs orig");
   print_rule(86);
 
+  JsonObject apps_obj;
   const double scale = paper_cost().cpu_scale;
   for (const auto& app : all_apps()) {
     const auto seq = app.run_seq(scale);
@@ -39,8 +42,22 @@ int main() {
     std::printf("%-8s %12.2f %14.2f %14.2f %7.0f%%   %+.0f%%\n", app.name,
                 s_orig, s_thrd, s_mpi, 100.0 * s_thrd / s_mpi,
                 100.0 * (s_thrd / s_orig - 1.0));
+
+    JsonObject row;
+    row.add("seq_us", seq.time_us);
+    row.add("orig", run_json(orig));
+    row.add("thread", run_json(thrd));
+    row.add("mpi", run_json(mpi));
+    apps_obj.add(app.name, row.str());
   }
   print_rule(86);
+  if (!args.json_path.empty()) {
+    JsonObject root;
+    root.add_string("bench", "fig1_speedup");
+    root.add("smoke", args.smoke);
+    root.add("apps", apps_obj.str());
+    write_json_file(args.json_path, root.str());
+  }
   std::printf("thr/MPI: OpenMP/thread speedup as %% of MPI's (paper: "
               "70-93%%).\n");
   std::printf("thread vs orig: improvement of thread over original (paper: "

@@ -26,9 +26,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace omsp;
   using namespace omsp::bench;
+
+  const BenchArgs args = parse_bench_args(argc, argv);
 
   struct Row {
     std::string name;
@@ -75,5 +77,21 @@ int main() {
                     std::max(1ull, m(r.thrd)));
   }
   print_rule(92);
+
+  if (!args.json_path.empty()) {
+    JsonObject apps_obj;
+    for (const auto& r : rows) {
+      JsonObject versions;
+      versions.add("orig", run_json(r.orig));
+      versions.add("thread", run_json(r.thrd));
+      versions.add("mpi", run_json(r.mpi));
+      apps_obj.add(r.name, versions.str());
+    }
+    JsonObject root;
+    root.add_string("bench", "table2_traffic");
+    root.add("smoke", args.smoke);
+    root.add("apps", apps_obj.str());
+    write_json_file(args.json_path, root.str());
+  }
   return 0;
 }

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Bench smoke: run the evaluation benches at CI problem sizes, merge their
+# machine-readable rows into BENCH_pr3.json, and fail if message counts
+# drifted vs the committed baseline under the default (inline, synchronous)
+# transport.
+#
+#   scripts/bench_smoke.sh [--build-dir <dir>] [--out <file>] [--update-baseline]
+#
+# Drift policy (see the probe notes in tests/tmk/overlap_test.cc): MPI
+# message counts are a pure function of the modeled algorithm and must match
+# the baseline EXACTLY. SDSM (OpenMP/orig + OpenMP/thread) counts depend on
+# host-scheduling races between fault-time fetches and concurrent interval
+# flushes, so they get a +/-25% band — wide enough never to flake, tight
+# enough to catch a protocol regression that doubles traffic. TSP's SDSM
+# rows are exempt entirely: its branch-and-bound pruning makes message
+# counts vary by orders of magnitude run to run.
+set -euo pipefail
+
+BUILD_DIR=build
+OUT=BENCH_pr3.json
+UPDATE=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR=$2; shift 2 ;;
+    --out) OUT=$2; shift 2 ;;
+    --update-baseline) UPDATE=1; shift ;;
+    *) echo "usage: $0 [--build-dir <dir>] [--out <file>] [--update-baseline]" >&2
+       exit 2 ;;
+  esac
+done
+
+cd "$(dirname "$0")/.."
+BASELINE=bench/bench_smoke_baseline.json
+
+command -v python3 >/dev/null || { echo "bench_smoke: python3 required" >&2; exit 1; }
+for b in table2_traffic fig1_speedup; do
+  [ -x "$BUILD_DIR/bench/$b" ] || {
+    echo "bench_smoke: $BUILD_DIR/bench/$b not built" >&2; exit 1; }
+done
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# Default transport only: no OMSP_OVERLAP in the environment — this is the
+# bit-for-bit seed configuration the drift check certifies.
+unset OMSP_OVERLAP OMSP_OVERLAP_FETCH OMSP_OVERLAP_PREFETCH OMSP_PERTURB_SEED
+
+echo "== table2_traffic --smoke =="
+"$BUILD_DIR/bench/table2_traffic" --smoke --json "$TMP/table2.json"
+echo "== fig1_speedup --smoke =="
+"$BUILD_DIR/bench/fig1_speedup" --smoke --json "$TMP/fig1.json"
+
+python3 - "$TMP" "$OUT" "$BASELINE" "$UPDATE" <<'EOF'
+import json, sys
+
+tmp, out_path, baseline_path, update = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4] == "1"
+
+table2 = json.load(open(f"{tmp}/table2.json"))
+fig1 = json.load(open(f"{tmp}/fig1.json"))
+
+merged = {
+    "generated_by": "scripts/bench_smoke.sh",
+    "transport": "inline (default)",
+    "table2_traffic": table2,
+    "fig1_speedup": fig1,
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+
+if update:
+    with open(baseline_path, "w") as f:
+        json.dump(table2, f, indent=2)
+        f.write("\n")
+    print(f"updated {baseline_path}")
+    sys.exit(0)
+
+baseline = json.load(open(baseline_path))
+SDSM_BAND = 0.25
+failures = []
+for app, versions in baseline["apps"].items():
+    for ver, base_row in versions.items():
+        cur = table2["apps"][app][ver]["msgs"]
+        base = base_row["msgs"]
+        if ver == "mpi":
+            if cur != base:
+                failures.append(f"{app}/{ver}: msgs {cur} != baseline {base} (exact)")
+        elif app == "TSP":
+            continue  # speculative search: counts are race-dependent
+        else:
+            lo, hi = base * (1 - SDSM_BAND), base * (1 + SDSM_BAND)
+            if not (lo <= cur <= hi):
+                failures.append(
+                    f"{app}/{ver}: msgs {cur} outside [{lo:.0f}, {hi:.0f}] "
+                    f"(baseline {base} +/-25%)")
+
+if failures:
+    print("message-count drift vs seed baseline:", file=sys.stderr)
+    for f_ in failures:
+        print(f"  {f_}", file=sys.stderr)
+    sys.exit(1)
+print("message counts match the seed baseline "
+      "(MPI exact, SDSM within 25%, TSP SDSM exempt)")
+EOF

@@ -46,6 +46,9 @@ enum class Counter : std::size_t {
   kLockAcquires,
   kLockRemoteAcquires, // acquires that needed a message to manager/holder
   kFullPageFetches,
+  kPrefetchBatches,     // aggregated kDiffRequestBatch rounds issued
+  kPrefetchPagesFetched, // pages covered by those batches
+  kPrefetchHits,        // fault-time creator needs satisfied from the buffer
   kCount
 };
 
@@ -58,7 +61,8 @@ inline const char* counter_name(Counter c) {
                "intervals",        "write_notices_sent",
                "write_notices_recv", "page_invalidations",
                "barriers",         "lock_acquires",   "lock_remote_acquires",
-               "full_page_fetches"};
+               "full_page_fetches", "prefetch_batches",
+               "prefetch_pages_fetched", "prefetch_hits"};
   return names[static_cast<std::size_t>(c)];
 }
 

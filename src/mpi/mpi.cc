@@ -41,7 +41,11 @@ void MpiWorld::run(const std::function<void(Comm&)>& fn) {
 void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
   OMSP_CHECK(dst >= 0 && dst < size());
   clock_.sync_cpu();
-  const double cost = world_.router_->transport().notify(
+  // notify_ex separates the arrival-relevant delivery cost (base + any
+  // perturbation jitter/holdback) from a duplicate's wire cost: the dup is
+  // absorbed by the reliability layer, so it is accounted (counters, trace)
+  // but never delays or re-delivers the application payload.
+  const net::Delivery d = world_.router_->transport().notify_ex(
       net::Envelope::notice(static_cast<ContextId>(rank_),
                             static_cast<ContextId>(dst),
                             net::MsgType::kMpiData, bytes));
@@ -50,7 +54,7 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
   msg.tag = tag;
   msg.payload.assign(static_cast<const std::uint8_t*>(data),
                      static_cast<const std::uint8_t*>(data) + bytes);
-  msg.arrive_time_us = clock_.now_us() + cost;
+  msg.arrive_time_us = clock_.now_us() + d.cost_us;
   auto& box = *world_.mailboxes_[dst];
   {
     std::lock_guard<std::mutex> lk(box.mutex);
@@ -67,14 +71,29 @@ std::size_t Comm::recv(int src, int tag, void* data, std::size_t bytes,
   std::unique_lock<std::mutex> lk(box.mutex);
   MpiWorld::Message msg;
   for (;;) {
-    auto it = std::find_if(box.queue.begin(), box.queue.end(),
-                           [&](const MpiWorld::Message& m) {
-                             return (src == kAnySource || m.src == src) &&
-                                    (tag == kAnyTag || m.tag == tag);
-                           });
-    if (it != box.queue.end()) {
-      msg = std::move(*it);
-      box.queue.erase(it);
+    // Candidates are each source's FIRST matching message (MPI's
+    // non-overtaking guarantee is per (src, tag) pair); among those the
+    // earliest modeled arrival wins. With the perturbation schedule threaded
+    // into arrive_time_us this is the order a jittery wire would actually
+    // deliver wildcard receives in; with the default transport and a named
+    // source it degenerates to plain FIFO.
+    auto best = box.queue.end();
+    std::vector<int> seen_src;
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (!((src == kAnySource || it->src == src) &&
+            (tag == kAnyTag || it->tag == tag)))
+        continue;
+      if (std::find(seen_src.begin(), seen_src.end(), it->src) !=
+          seen_src.end())
+        continue;
+      seen_src.push_back(it->src);
+      if (best == box.queue.end() ||
+          it->arrive_time_us < best->arrive_time_us)
+        best = it;
+    }
+    if (best != box.queue.end()) {
+      msg = std::move(*best);
+      box.queue.erase(best);
       break;
     }
     box.cv.wait(lk);

@@ -50,6 +50,7 @@ enum class MsgType : std::uint16_t {
   kGcRecords,         // GC fixpoint: interval-record exchange at a barrier
   kLoopChunk,         // dynamic/guided loop chunk grab round trip
   kMpiData,           // MPI layer point-to-point payload
+  kDiffRequestBatch,  // aggregated multi-page diff fetch (barrier prefetch)
   kCount
 };
 
@@ -60,7 +61,7 @@ inline const char* msg_name(MsgType t) {
                "page_request",  "fork",          "join",
                "barrier_arrival", "barrier_departure", "lock_request",
                "lock_forward",  "lock_grant",    "gc_records",
-               "loop_chunk",    "mpi_data"};
+               "loop_chunk",    "mpi_data",      "diff_request_batch"};
   const auto i = static_cast<std::size_t>(t);
   return i < names.size() ? names[i] : "invalid";
 }

@@ -111,11 +111,15 @@ public:
       board.add(Counter::kMsgsOffNode);
       board.add(Counter::kBytesOffNode, bytes);
     }
+    const double cost = model_.message_us(bytes, same);
+    // The modeled one-way cost rides in dur_us so `omsp-trace summary` can
+    // report per-type latency without re-deriving the cost model.
     OMSP_TRACE_EVENT(kMessage, env.src, bytes,
                      message_trace_arg1(env.type, env.dst),
                      static_cast<std::uint16_t>(
-                         env.trace_flags | (same ? 0 : trace::kFlagOffNode)));
-    return model_.message_us(bytes, same);
+                         env.trace_flags | (same ? 0 : trace::kFlagOffNode)),
+                     cost);
+    return cost;
   }
 
 private:

@@ -1,13 +1,55 @@
 #include "net/transport.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/check.hpp"
 #include "net/router.hpp"
 #include "sim/virtual_clock.hpp"
 #include "trace/event.hpp"
+#include "trace/tracer.hpp"
 
 namespace omsp::net {
+
+// ---------------------------------------------------------------------------
+// PendingReply
+
+std::vector<std::uint8_t> PendingReply::wait() {
+  double complete = 0;
+  auto reply = wait_at(&complete);
+  if (auto* clock = sim::VirtualClock::current(); clock != nullptr)
+    clock->advance_to(complete);
+  return reply;
+}
+
+std::vector<std::uint8_t> PendingReply::wait_at(double* complete_us) {
+  OMSP_CHECK_MSG(state_ != nullptr, "wait on an empty PendingReply");
+  std::unique_lock<std::mutex> lk(state_->mutex);
+  state_->cv.wait(lk, [&] { return state_->done; });
+  if (complete_us != nullptr)
+    *complete_us = state_->complete_us + post_delay_us_;
+  return std::move(state_->reply);
+}
+
+PendingReply PendingReply::ready(std::vector<std::uint8_t> reply,
+                                 double complete_us) {
+  PendingReply p;
+  p.state_ = std::make_shared<State>();
+  p.state_->done = true;
+  p.state_->reply = std::move(reply);
+  p.state_->complete_us = complete_us;
+  return p;
+}
+
+// The synchronous bridge: the round trip already ran (and charged the
+// caller's clock), so the handle completes "now" and wait() is a clock
+// no-op. Keeps call_async usable against any transport.
+PendingReply Transport::call_async(const Envelope& env) {
+  auto reply = call(env);
+  auto* clock = sim::VirtualClock::current();
+  return PendingReply::ready(std::move(reply),
+                             clock != nullptr ? clock->now_us() : 0);
+}
 
 // ---------------------------------------------------------------------------
 // InlineTransport
@@ -79,6 +121,168 @@ double InlineTransport::notify(const Envelope& env) {
 }
 
 // ---------------------------------------------------------------------------
+// OverlapOptions
+
+namespace {
+bool env_flag(const char* name, bool dflt) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return dflt;
+  return !(s[0] == '0' && s[1] == '\0');
+}
+} // namespace
+
+OverlapOptions OverlapOptions::from_env() {
+  OverlapOptions o;
+  o.enabled = env_flag("OMSP_OVERLAP", false);
+  if (o.enabled) {
+    o.async_fetch = env_flag("OMSP_OVERLAP_FETCH", true);
+    o.prefetch = env_flag("OMSP_OVERLAP_PREFETCH", true);
+  }
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// QueuedTransport
+
+QueuedTransport::QueuedTransport(std::unique_ptr<Transport> inner,
+                                 Router& router)
+    : inner_(std::move(inner)), router_(router) {
+  OMSP_CHECK(inner_ != nullptr);
+  workers_.resize(router_.num_contexts());
+  for (std::size_t c = 0; c < workers_.size(); ++c) {
+    workers_[c] = std::make_unique<Worker>();
+    workers_[c]->thread =
+        std::thread([this, c] { worker_main(static_cast<ContextId>(c)); });
+  }
+}
+
+QueuedTransport::~QueuedTransport() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) w->cv.notify_all();
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+}
+
+PendingReply QueuedTransport::call_async(const Envelope& env) {
+  // The request is fully accounted at issue time on the caller's board, so
+  // counters match the synchronous path exactly; only the reply side moves
+  // to the service worker.
+  const double req_cost = router_.account(env);
+  auto* clock = sim::VirtualClock::current();
+  // Serialized sender occupancy (zero with default knobs): issuing requests
+  // back-to-back costs wire occupancy per message, not a full RTT.
+  const double occ =
+      router_.model().occupancy_us(env.payload_size() + kHeaderBytes);
+  if (clock != nullptr) clock->charge(occ);
+
+  Job job;
+  job.src = env.src;
+  job.dst = env.dst;
+  job.type = env.type;
+  job.trace_flags = env.trace_flags;
+  job.payload.assign(env.payload.begin(), env.payload.end());
+  job.arrive_us = (clock != nullptr ? clock->now_us() : 0) + req_cost;
+  job.seq = issue_seq_.fetch_add(1, std::memory_order_relaxed);
+
+  PendingReply p;
+  p.state_ = std::make_shared<PendingReply::State>();
+  job.state = p.state_;
+
+  {
+    std::lock_guard<std::mutex> lk(idle_mutex_);
+    ++outstanding_;
+  }
+  Worker& w = *workers_[env.dst];
+  {
+    std::lock_guard<std::mutex> lk(w.mutex);
+    w.queue.push_back(std::move(job));
+  }
+  w.cv.notify_one();
+  return p;
+}
+
+void QueuedTransport::quiesce() {
+  std::unique_lock<std::mutex> lk(idle_mutex_);
+  idle_cv_.wait(lk, [&] { return outstanding_ == 0; });
+}
+
+void QueuedTransport::worker_main(ContextId dst) {
+  // Service events land on a synthetic trace track, not an app rank's.
+  trace::Tracer::bind_thread(service_track(dst));
+
+  Worker& w = *workers_[dst];
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(w.mutex);
+      w.cv.wait(lk, [&] {
+        return stop_.load(std::memory_order_acquire) || !w.queue.empty();
+      });
+      if (w.queue.empty()) return; // stopping and fully drained
+      // Earliest modeled arrival first (issue order breaks ties). This only
+      // orders handler EXECUTION (content); completion times come from the
+      // per-source channels and are order-independent. A source's own jobs
+      // are enqueued in program order, so its channel always services them
+      // in seq order regardless of what interleaves from other sources.
+      auto best = w.queue.begin();
+      for (auto it = std::next(best); it != w.queue.end(); ++it)
+        if (it->arrive_us < best->arrive_us ||
+            (it->arrive_us == best->arrive_us && it->seq < best->seq))
+          best = it;
+      job = std::move(*best);
+      w.queue.erase(best);
+    }
+    service(dst, job, w);
+    {
+      std::lock_guard<std::mutex> lk(idle_mutex_);
+      --outstanding_;
+      if (outstanding_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void QueuedTransport::service(ContextId dst, Job& job, Worker& w) {
+  MessageHandler* handler = router_.handler(dst);
+  OMSP_CHECK_MSG(handler != nullptr, "destination has no handler");
+
+  // Per-channel serialization: the request begins when it has both arrived
+  // and the same source's previous request here has finished. Cross-source
+  // contention is not modeled (see the class comment): this start time is a
+  // pure function of the source's deterministic issue sequence.
+  const double start =
+      std::max(job.arrive_us, w.src_busy_until[job.src]);
+  // cpu_scale 0: host time spent in the handler never leaks into virtual
+  // time; the clock advances only by modeled service costs (plus whatever
+  // the handler itself charges — diff creation on a first request).
+  sim::VirtualClock clk(0.0);
+  sim::VirtualClock::Binder bind(&clk);
+  clk.advance_to(start);
+  clk.charge(router_.model().handler_service_us);
+
+  ByteWriter reply;
+  ByteReader reader(std::span<const std::uint8_t>(job.payload.data(), job.payload.size()));
+  handler->handle(job.src, job.type, reader, reply);
+
+  Envelope rep;
+  rep.src = dst;
+  rep.dst = job.src;
+  rep.type = job.type;
+  rep.payload = {reply.data(), reply.size()};
+  rep.trace_flags = job.trace_flags;
+  const double reply_cost = router_.account(rep);
+  w.src_busy_until[job.src] = clk.now_us();
+  const double complete = clk.now_us() + reply_cost;
+
+  if (job.state != nullptr) {
+    std::lock_guard<std::mutex> lk(job.state->mutex);
+    job.state->reply = reply.take();
+    job.state->complete_us = complete;
+    job.state->done = true;
+    job.state->cv.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
 // PerturbOptions
 
 PerturbOptions PerturbOptions::from_env() {
@@ -134,16 +338,38 @@ std::vector<std::uint8_t> PerturbingTransport::call(const Envelope& env) {
   return reply;
 }
 
-double PerturbingTransport::notify(const Envelope& env) {
-  const Draw d = draw(/*one_way=*/true);
-  double cost = inner_->notify(env) + d.jitter_us;
+PendingReply PerturbingTransport::call_async(const Envelope& env) {
+  const Draw d = draw(/*one_way=*/false);
+  PendingReply p = inner_->call_async(env);
+  // Jitter delays the reply's delivery at the requester; the destination's
+  // service clock is unaffected, mirroring the synchronous path.
+  p.post_delay_us_ += d.jitter_us;
   if (d.duplicate) {
     Envelope dup = env;
     dup.trace_flags =
         static_cast<std::uint16_t>(dup.trace_flags | trace::kFlagPerturbed);
-    cost += inner_->notify(dup);
+    (void)inner_->call_async(dup); // serviced and dropped; first reply stands
   }
-  return cost;
+  return p;
+}
+
+Delivery PerturbingTransport::notify_ex(const Envelope& env) {
+  const Draw d = draw(/*one_way=*/true);
+  Delivery out;
+  out.cost_us = inner_->notify(env) + d.jitter_us;
+  if (d.duplicate) {
+    Envelope dup = env;
+    dup.trace_flags =
+        static_cast<std::uint16_t>(dup.trace_flags | trace::kFlagPerturbed);
+    out.duplicate = true;
+    out.dup_cost_us = inner_->notify(dup);
+  }
+  return out;
+}
+
+double PerturbingTransport::notify(const Envelope& env) {
+  const Delivery d = notify_ex(env);
+  return d.cost_us + d.dup_cost_us;
 }
 
 PerturbStats PerturbingTransport::stats() const {

@@ -7,12 +7,21 @@
 // `.notify(env)` (one-way, accounting + modeled cost); it never constructs
 // wire framing or touches counters itself.
 //
-// Two implementations:
+// Three implementations:
 //  * InlineTransport — the seed semantics, bit-for-bit: serialize, account
 //    and charge on the sender, run the destination handler on the calling
 //    thread, account and charge the reply. With the cost model's
 //    occupancy/contention knobs at their zero defaults, every counter and
 //    every charged microsecond is identical to the pre-transport Router.
+//  * QueuedTransport — the asynchronous path, modeling TreadMarks' SIGIO
+//    request service: call_async() accounts the request on the caller and
+//    hands it to a per-destination worker thread that services requests
+//    serially on its own virtual clock. The PendingReply it returns carries
+//    the modeled completion time; waiting is a Lamport merge (advance_to),
+//    so a thread that issued N concurrent requests ends at the MAX of their
+//    completion times, not the sum — the overlap the paper's speedups come
+//    from. The synchronous call()/notify() paths delegate to the inner
+//    transport unchanged.
 //  * PerturbingTransport — a seeded fault-injection decorator in the spirit
 //    of the UDP/IP networks real SDSM systems ran on (TreadMarks serviced
 //    retransmitted requests in SIGIO handlers): latency jitter, bounded
@@ -24,21 +33,30 @@
 //    reproducibly; injected deliveries carry trace::kFlagPerturbed.
 //
 // Idempotence contract for handlers (docs/PROTOCOL.md "Transport layer"):
-// any handler reachable through call() must tolerate re-delivery of the same
-// request — state convergent (second apply is a byte-level no-op), reply
-// equivalent — because a lossy transport retransmits and duplicates.
+// any handler reachable through call() or call_async() must tolerate
+// re-delivery of the same request — state convergent (second apply is a
+// byte-level no-op), reply equivalent — because a lossy transport
+// retransmits and duplicates.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
 #include "common/types.hpp"
 #include "net/message.hpp"
+
+namespace omsp::sim {
+class VirtualClock;
+}
 
 namespace omsp::net {
 
@@ -54,6 +72,71 @@ public:
                       ByteWriter& reply) = 0;
 };
 
+// Delivery-time decomposition of a one-way notification: the modeled arrival
+// delay of the primary copy (jitter/hold-back included) and, separately, the
+// cost of an injected duplicate. Layers that model their own mailboxes (the
+// MPI library) use the components: the payload arrives after cost_us; a
+// duplicate is absorbed by the reliability layer but its wire cost is real.
+struct Delivery {
+  double cost_us = 0;
+  bool duplicate = false;
+  double dup_cost_us = 0;
+};
+
+// Future-like handle for an asynchronous request (Transport::call_async).
+//
+// Contract (docs/PROTOCOL.md "Asynchronous transport and overlapped fetch"):
+//  * The request was fully accounted (counters + trace event) at issue time
+//    on the caller's board; the reply is accounted on the servicing side
+//    when it is produced. Counters are therefore identical to the
+//    synchronous path no matter when — or whether — wait() is called.
+//  * wait() blocks until the reply exists, then advances the calling
+//    thread's virtual clock to the reply's modeled completion time
+//    (advance_to — a max-merge, never a sum). Waiting N handles issued
+//    concurrently ends at max(completion), the overlapped-RTT regime.
+//  * wait_at() returns the reply without touching any clock and reports the
+//    completion time; used by the prefetch buffer, which charges the stall
+//    (if any) only when the data is first consumed.
+//  * A handle may be dropped without waiting; the transport still services
+//    the request (quiesce() drains it) so accounting stays complete.
+class PendingReply {
+public:
+  PendingReply() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  // Block for the reply and Lamport-merge its completion time into the
+  // calling thread's virtual clock.
+  std::vector<std::uint8_t> wait();
+
+  // Block for the reply without touching any clock; *complete_us (when
+  // non-null) receives the modeled completion time.
+  std::vector<std::uint8_t> wait_at(double* complete_us);
+
+  // An already-completed reply (the synchronous bridge).
+  static PendingReply ready(std::vector<std::uint8_t> reply,
+                            double complete_us);
+
+private:
+  friend class Transport;
+  friend class QueuedTransport;
+  friend class PerturbingTransport;
+
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    std::vector<std::uint8_t> reply;
+    double complete_us = 0;
+  };
+
+  std::shared_ptr<State> state_;
+  // Extra delivery latency injected by a decorating transport (perturbation
+  // jitter); added to the completion time at the handle, not the worker, so
+  // the destination's service clock stays unperturbed.
+  double post_delay_us_ = 0;
+};
+
 class Transport {
 public:
   virtual ~Transport() = default;
@@ -66,6 +149,30 @@ public:
   // Accounts it on the sender's board and returns the modeled one-way cost
   // in microseconds (the caller decides whose clock absorbs it).
   virtual double notify(const Envelope& env) = 0;
+
+  // Like notify() but reports the delivery-time decomposition (see
+  // Delivery). The default wraps notify(); decorators that inject faults
+  // override it so mailbox layers can model arrival times faithfully.
+  virtual Delivery notify_ex(const Envelope& env) {
+    Delivery d;
+    d.cost_us = notify(env);
+    return d;
+  }
+
+  // Asynchronous request/reply. The default bridges to the synchronous
+  // call() — the request completes before this returns, so the handle's
+  // wait() is a no-op on the clock. Transports that truly overlap return
+  // supports_async() == true; protocol code uses that to gate its
+  // concurrent-issue paths (the answer must not change over the transport's
+  // lifetime).
+  virtual PendingReply call_async(const Envelope& env);
+  virtual bool supports_async() const { return false; }
+
+  // Block until every in-flight asynchronous request (including injected
+  // duplicates) has been serviced. Called at quiescent points — barrier
+  // episodes, stats resets, shutdown — so counter snapshots and trace drains
+  // never race a worker mid-service. No-op for synchronous transports.
+  virtual void quiesce() {}
 
   virtual const char* name() const = 0;
 };
@@ -91,6 +198,109 @@ private:
   // when the contention knob is enabled.
   std::unique_ptr<std::atomic<std::uint32_t>[]> link_inflight_;
   std::uint32_t nnodes_ = 0;
+};
+
+// Opt-in knobs for the overlapped communication paths (tmk::Config.overlap).
+// With enabled == false (the default) the DSM runs the seed-exact
+// InlineTransport; OMSP_OVERLAP=1 enables from the environment, with
+// OMSP_OVERLAP_FETCH=0 / OMSP_OVERLAP_PREFETCH=0 masking the sub-features.
+struct OverlapOptions {
+  bool enabled = false;
+  // fetch_and_apply issues all per-creator diff requests of a round
+  // concurrently (max-of-RTT stall instead of sum-of-RTT).
+  bool async_fetch = true;
+  // Barrier departure issues one aggregated kDiffRequestBatch per creator
+  // for the pages its write notices invalidated, overlapped with post-
+  // barrier compute until first touch.
+  bool prefetch = true;
+
+  static OverlapOptions from_env();
+};
+
+// Asynchronous delivery: one worker thread per destination context services
+// queued requests — the analogue of TreadMarks' SIGIO handler, which
+// interrupts the destination process and services one request at a time. A
+// request begins service at max(modeled arrival, completion of the SAME
+// source's previous request to this destination), pays the handler service
+// cost plus whatever the handler itself charges (diff creation on first
+// request), and the reply completes one reply-hop later.
+//
+// Serialization is per (source, destination) channel, not across sources:
+// each source issues its requests in program order at deterministic modeled
+// times, so every completion is a pure function of that source's own issue
+// sequence — bit-identical across runs no matter how the host schedules the
+// worker against the callers. Cross-source contention at one destination is
+// deliberately NOT folded into completion times: resolving it online would
+// make completions depend on which caller's request the worker happened to
+// see first (a host race), and a 10us service displacement decided by the
+// scheduler is exactly the nondeterminism the simulator exists to avoid.
+// Host-order effects are confined to handler *content* (which twin flush a
+// service-time request observes), the same window the inline transport has.
+//
+// The synchronous call()/notify() paths delegate to the inner transport so
+// non-overlapped traffic keeps seed semantics bit-for-bit.
+class QueuedTransport final : public Transport {
+public:
+  QueuedTransport(std::unique_ptr<Transport> inner, Router& router);
+  ~QueuedTransport() override;
+
+  std::vector<std::uint8_t> call(const Envelope& env) override {
+    return inner_->call(env);
+  }
+  double notify(const Envelope& env) override { return inner_->notify(env); }
+  Delivery notify_ex(const Envelope& env) override {
+    return inner_->notify_ex(env);
+  }
+
+  PendingReply call_async(const Envelope& env) override;
+  bool supports_async() const override { return true; }
+  void quiesce() override;
+
+  const char* name() const override { return "queued"; }
+  Transport& inner() { return *inner_; }
+
+  // Trace track id for the service worker of destination context c (keeps
+  // worker-emitted events off the application rank tracks).
+  static std::uint32_t service_track(ContextId c) {
+    return (1u << 20) + c;
+  }
+
+private:
+  struct Job {
+    ContextId src = 0;
+    ContextId dst = 0;
+    MsgType type = MsgType::kNone;
+    std::uint16_t trace_flags = 0;
+    std::vector<std::uint8_t> payload;
+    double arrive_us = 0;   // modeled arrival at the destination
+    std::uint64_t seq = 0;  // issue order; tie-break for equal arrivals
+    std::shared_ptr<PendingReply::State> state; // null for fire-and-forget
+  };
+
+  struct Worker {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Job> queue;
+    std::thread thread;
+    // Per-source service channel: finish time of this source's previous
+    // request at this destination. Only the owning source's (program-
+    // ordered) jobs touch an entry, so values are host-schedule free.
+    std::unordered_map<ContextId, double> src_busy_until;
+  };
+
+  void worker_main(ContextId dst);
+  void service(ContextId dst, Job& job, Worker& w);
+
+  std::unique_ptr<Transport> inner_;
+  Router& router_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> issue_seq_{0};
+
+  // quiesce(): callers wait until no queued or in-service job remains.
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::uint64_t outstanding_ = 0;
 };
 
 // Deterministic perturbation parameters. `enabled` gates construction by
@@ -119,6 +329,10 @@ public:
 
   std::vector<std::uint8_t> call(const Envelope& env) override;
   double notify(const Envelope& env) override;
+  Delivery notify_ex(const Envelope& env) override;
+  PendingReply call_async(const Envelope& env) override;
+  bool supports_async() const override { return inner_->supports_async(); }
+  void quiesce() override { inner_->quiesce(); }
   const char* name() const override { return "perturbing"; }
 
   PerturbStats stats() const;

@@ -69,6 +69,14 @@ struct Config {
   // when perturb.enabled is false.
   net::PerturbOptions perturb;
 
+  // Overlapped communication (net::QueuedTransport): concurrent per-creator
+  // diff fetches and barrier-time batched prefetch. Off by default so the
+  // InlineTransport seed semantics stay bit-for-bit; OMSP_OVERLAP=1
+  // overrides at DsmSystem construction when overlap.enabled is false.
+  // Only the lazy-RC protocol has overlapped paths; home-based fetches stay
+  // synchronous.
+  net::OverlapOptions overlap;
+
   bool use_alias_mapping() const {
     return alias_mapping.value_or(mode == Mode::kThread);
   }

@@ -111,6 +111,7 @@ void DsmContext::on_fault(void* addr, bool is_write) {
   OMSP_PTRACE(p, "fault is_write=%d", is_write ? 1 : 0);
   std::unique_lock<std::mutex> lock(page_lock(p));
   PageMeta& meta = pages_[p];
+  meta.ever_accessed = true;
 
   for (;;) {
     if (meta.fetch_in_progress) {
@@ -185,6 +186,15 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
   OMSP_CHECK(!meta.fetch_in_progress);
   meta.fetch_in_progress = true;
 
+  if (overlap_prefetch()) {
+    // A barrier-time batch covering this page may still be in flight; wait
+    // for it (no page lock held) so the drain below serves this fault from
+    // the buffer instead of re-requesting the same diffs.
+    lock.unlock();
+    absorb_inflight_for(p);
+    lock.lock();
+  }
+
   struct Need {
     ContextId creator;
     IntervalSeq have;
@@ -217,6 +227,81 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
       }
     }
     if (needs.empty()) break;
+
+    if (overlap_prefetch()) {
+      // Drain buffered prefetched diffs first (page lock held; the buffer
+      // mutex is taken briefly and never blocks). A need fully covered by
+      // the buffer is a prefetch hit and skips the network entirely; a
+      // partial cover just raises `have` for the request below. applied_
+      // only advances here — inside the fetch session that moves the bytes
+      // into `got` — never at absorb time.
+      std::vector<PrefetchEntry> entries;
+      {
+        std::lock_guard<std::mutex> pm(prefetch_mutex_);
+        auto it = prefetch_buffer_.find(p);
+        if (it != prefetch_buffer_.end()) {
+          entries = std::move(it->second);
+          prefetch_buffer_.erase(it);
+        }
+      }
+      if (!entries.empty()) {
+        auto* clock = sim::VirtualClock::current();
+        for (auto it = needs.begin(); it != needs.end();) {
+          Need& nd = *it;
+          // Merge every buffered entry from this creator: rounds chain (each
+          // requested only diffs above the previous round's coverage), so the
+          // contiguous history is the union of the entries, not the last one.
+          IntervalSeq maxseq = nd.have;
+          std::uint64_t used_bytes = 0;
+          double ready = 0;
+          bool matched = false;
+          for (auto& ent : entries) {
+            if (ent.creator != nd.creator) continue;
+            matched = true;
+            maxseq = std::max(maxseq, ent.floor);
+            ready = std::max(ready, ent.ready_us);
+            for (auto& d : ent.diffs) {
+              if (d.seq <= nd.have) continue; // stale: already applied
+              used_bytes += d.bytes.size();
+              maxseq = std::max(maxseq, d.seq);
+              got.push_back(
+                  Got{d.vt_sum, d.seq, nd.creator, std::move(d.bytes)});
+            }
+          }
+          if (!matched) {
+            ++it;
+            continue;
+          }
+          {
+            std::lock_guard<std::mutex> tl(table_mutex_);
+            IntervalSeq& a = applied_[std::size_t{p} * nc_ + nd.creator];
+            a = std::max(a, maxseq);
+          }
+          // Residual stall: zero when the batch completed before this first
+          // touch (the prefetch fully overlapped with compute).
+          const double t0 = clock != nullptr ? clock->now_us() : 0;
+          if (clock != nullptr) clock->advance_to(ready);
+          const double residual = clock != nullptr ? clock->now_us() - t0 : 0;
+          if (maxseq >= nd.want) {
+            OMSP_PTRACE(p, "prefetch hit creator=%u bytes=%llu", nd.creator,
+                        static_cast<unsigned long long>(used_bytes));
+            stats_->add(Counter::kPrefetchHits);
+            OMSP_TRACE_EVENT(kPrefetchHit, id_, p, used_bytes,
+                             router_.same_node(id_, nd.creator)
+                                 ? std::uint16_t{0}
+                                 : trace::kFlagOffNode,
+                             residual);
+            it = needs.erase(it);
+          } else {
+            nd.have = std::max(nd.have, maxseq);
+            ++it;
+          }
+        }
+      }
+      // The absorbed records may have queued fresh notices; recompute.
+      if (needs.empty()) continue;
+    }
+
     for (const Need& nd : needs)
       OMSP_PTRACE(p, "fetch need creator=%u have=%u want=%u", nd.creator,
                   nd.have, nd.want);
@@ -226,43 +311,100 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
     // request handler takes our page lock.
     lock.unlock();
     chaos_point();
-    for (const Need& need : needs) {
-      // The request carries our vector time; the reply piggybacks every
-      // interval record we lack. Merging them (an acquire, effectively)
-      // before our next interval closes makes our later intervals causally
-      // dominate every byte consumed here — the property that makes the
-      // vt-sum apply order correct for conflicting diffs.
-      ByteWriter req;
-      req.put<PageId>(p);
-      req.put<IntervalSeq>(need.have);
-      req.put<IntervalSeq>(need.want);
-      my_vt.serialize(req);
-      auto reply = router_.transport().call(net::Envelope::request(
-          id_, need.creator, net::MsgType::kDiffRequest, req));
-      OMSP_TRACE_EVENT(kDiffFetch, id_, p, reply.size(),
-                       router_.same_node(id_, need.creator)
-                           ? std::uint16_t{0}
-                           : trace::kFlagOffNode);
-      ByteReader r(reply);
-      auto recs = deserialize_records(r);
-      if (!recs.empty()) apply_records(recs); // no page lock held
-      const auto floor = r.get<IntervalSeq>();
-      const auto count = r.get<std::uint32_t>();
-      IntervalSeq maxseq = std::max(need.have, floor);
-      for (std::uint32_t i = 0; i < count; ++i) {
-        Got g;
-        g.seq = r.get<IntervalSeq>();
-        g.vtsum = r.get<std::uint64_t>();
-        g.creator = need.creator;
-        g.bytes = r.get_span<std::uint8_t>();
-        maxseq = std::max(maxseq, g.seq);
-        got.push_back(std::move(g));
+    if (overlap_async_fetch()) {
+      // Overlapped round: issue every per-creator request at once, then
+      // collect. The requests serialize on this sender's occupancy but their
+      // RTTs overlap, so the round's stall is the max of the in-flight
+      // completions, not the sum — TreadMarks' SIGIO request service lets
+      // creators reply concurrently. Reply parsing is identical to the sync
+      // path below; only the waiting (and the trace event) differ.
+      auto* clock = sim::VirtualClock::current();
+      const double t0 = clock != nullptr ? clock->now_us() : 0;
+      std::vector<net::PendingReply> pendings;
+      pendings.reserve(needs.size());
+      bool offnode = false;
+      for (const Need& need : needs) {
+        ByteWriter req;
+        req.put<PageId>(p);
+        req.put<IntervalSeq>(need.have);
+        req.put<IntervalSeq>(need.want);
+        my_vt.serialize(req);
+        pendings.push_back(
+            router_.transport().call_async(net::Envelope::request(
+                id_, need.creator, net::MsgType::kDiffRequest, req)));
+        if (!router_.same_node(id_, need.creator)) offnode = true;
       }
-      {
+      std::uint64_t total_bytes = 0;
+      double last_complete = t0;
+      for (std::size_t i = 0; i < needs.size(); ++i) {
+        const Need& need = needs[i];
+        double complete = 0;
+        auto reply = pendings[i].wait_at(&complete); // no clock advance yet
+        last_complete = std::max(last_complete, complete);
+        total_bytes += reply.size();
+        ByteReader r(reply);
+        auto recs = deserialize_records(r);
+        if (!recs.empty()) apply_records(recs); // no page lock held
+        const auto floor = r.get<IntervalSeq>();
+        const auto count = r.get<std::uint32_t>();
+        IntervalSeq maxseq = std::max(need.have, floor);
+        for (std::uint32_t j = 0; j < count; ++j) {
+          Got g;
+          g.seq = r.get<IntervalSeq>();
+          g.vtsum = r.get<std::uint64_t>();
+          g.creator = need.creator;
+          g.bytes = r.get_span<std::uint8_t>();
+          maxseq = std::max(maxseq, g.seq);
+          got.push_back(std::move(g));
+        }
         std::lock_guard<std::mutex> tl(table_mutex_);
         IntervalSeq& a = applied_[std::size_t{p} * nc_ + need.creator];
         a = std::max(a, maxseq);
-        OMSP_PTRACE(p, "applied[%u] -> %u", need.creator, a);
+        OMSP_PTRACE(p, "applied[%u] -> %u (async)", need.creator, a);
+      }
+      if (clock != nullptr) clock->advance_to(last_complete);
+      OMSP_TRACE_EVENT(kDiffFetchAsync, id_, p, total_bytes,
+                       offnode ? trace::kFlagOffNode : std::uint16_t{0},
+                       clock != nullptr ? clock->now_us() - t0 : 0);
+    } else {
+      for (const Need& need : needs) {
+        // The request carries our vector time; the reply piggybacks every
+        // interval record we lack. Merging them (an acquire, effectively)
+        // before our next interval closes makes our later intervals causally
+        // dominate every byte consumed here — the property that makes the
+        // vt-sum apply order correct for conflicting diffs.
+        ByteWriter req;
+        req.put<PageId>(p);
+        req.put<IntervalSeq>(need.have);
+        req.put<IntervalSeq>(need.want);
+        my_vt.serialize(req);
+        auto reply = router_.transport().call(net::Envelope::request(
+            id_, need.creator, net::MsgType::kDiffRequest, req));
+        OMSP_TRACE_EVENT(kDiffFetch, id_, p, reply.size(),
+                         router_.same_node(id_, need.creator)
+                             ? std::uint16_t{0}
+                             : trace::kFlagOffNode);
+        ByteReader r(reply);
+        auto recs = deserialize_records(r);
+        if (!recs.empty()) apply_records(recs); // no page lock held
+        const auto floor = r.get<IntervalSeq>();
+        const auto count = r.get<std::uint32_t>();
+        IntervalSeq maxseq = std::max(need.have, floor);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          Got g;
+          g.seq = r.get<IntervalSeq>();
+          g.vtsum = r.get<std::uint64_t>();
+          g.creator = need.creator;
+          g.bytes = r.get_span<std::uint8_t>();
+          maxseq = std::max(maxseq, g.seq);
+          got.push_back(std::move(g));
+        }
+        {
+          std::lock_guard<std::mutex> tl(table_mutex_);
+          IntervalSeq& a = applied_[std::size_t{p} * nc_ + need.creator];
+          a = std::max(a, maxseq);
+          OMSP_PTRACE(p, "applied[%u] -> %u", need.creator, a);
+        }
       }
     }
     lock.lock();
@@ -330,6 +472,56 @@ void DsmContext::handle(ContextId src, net::MsgType type, ByteReader& request,
     OMSP_TRACE_EVENT(kFullPageFetch, id_, p, kPageSize);
     return;
   }
+  if (type == net::MsgType::kDiffRequestBatch) {
+    // Aggregated multi-page diff fetch (barrier prefetch). Semantically
+    // identical to one kDiffRequest per page — and idempotent the same way —
+    // just framed as a single message so a whole barrier's worth of
+    // invalidations costs one request/reply pair per creator.
+    const auto npages = request.get<std::uint32_t>();
+    std::vector<std::pair<PageId, IntervalSeq>> wants(npages);
+    for (auto& [p, have] : wants) {
+      p = request.get<PageId>();
+      have = request.get<IntervalSeq>();
+    }
+    const VectorTime req_vt = VectorTime::deserialize(request);
+
+    // Phase 1: per page, flush the outstanding twin and serialize the stored
+    // diffs into a side buffer.
+    ByteWriter body;
+    for (const auto& [p, have] : wants) {
+      OMSP_CHECK(p < pages_.size());
+      std::unique_lock<std::mutex> lock(page_lock(p));
+      PageMeta& meta = pages_[p];
+      if (meta.twin != nullptr) flush_page_diff_locked(p);
+      IntervalSeq floor;
+      {
+        std::lock_guard<std::mutex> tl(table_mutex_);
+        floor = last_listed_[p];
+      }
+      body.put<PageId>(p);
+      body.put<IntervalSeq>(floor);
+      std::uint32_t count = 0;
+      for (const auto& [seq, bytes] : meta.stored_diffs)
+        if (seq > have) ++count;
+      body.put<std::uint32_t>(count);
+      for (const auto& [seq, bytes] : meta.stored_diffs) {
+        if (seq <= have) continue;
+        body.put<IntervalSeq>(seq);
+        body.put<std::uint64_t>(vt_sum_of_own(seq));
+        body.put_span<std::uint8_t>({bytes.data(), bytes.size()});
+      }
+    }
+
+    // Phase 2: piggybacked records, computed AFTER every flush above so the
+    // freshly minted intervals are included (same ordering argument as the
+    // single-page reply).
+    serialize_records(records_unknown_to(req_vt), reply);
+    reply.put<std::uint32_t>(npages);
+    const auto b = body.take();
+    reply.put_bytes(b.data(), b.size());
+    return;
+  }
+
   OMSP_CHECK_MSG(type == net::MsgType::kDiffRequest,
                  "unknown tmk message type");
   const auto p = request.get<PageId>();
@@ -666,6 +858,7 @@ void DsmContext::apply_records(const std::vector<IntervalRecord>& records) {
     PageMeta& meta = pages_[p];
     if (meta.state != PageState::kInvalid) {
       meta.state = PageState::kInvalid;
+      meta.fresh_invalidate = true;
       set_prot(p, Protection::kNone);
       stats_->add(Counter::kPageInvalidations);
       OMSP_TRACE_EVENT(kInvalidate, id_, p);
@@ -780,6 +973,165 @@ void DsmContext::flush_all_diffs() {
     std::lock_guard<std::mutex> pl(page_lock(p));
     if (pages_[p].twin != nullptr) flush_page_diff_locked(p);
   }
+}
+
+// --- overlapped fetch / barrier prefetch ------------------------------------
+
+bool DsmContext::overlap_async_fetch() const {
+  return config_.overlap.enabled && config_.overlap.async_fetch &&
+         config_.protocol == Protocol::kLazyRC &&
+         router_.transport().supports_async();
+}
+
+bool DsmContext::overlap_prefetch() const {
+  return config_.overlap.enabled && config_.overlap.prefetch &&
+         config_.protocol == Protocol::kLazyRC &&
+         router_.transport().supports_async();
+}
+
+void DsmContext::start_prefetch_round() {
+  if (!overlap_prefetch()) return;
+  // Group every pending-but-unapplied (page, creator) by creator. The caller
+  // (the barrier path) invokes this right after the departure records were
+  // applied, so "pending > applied" is exactly the set of pages the barrier
+  // invalidated (plus any older still-unfetched notices).
+  struct Cand {
+    PageId page = 0;
+    IntervalSeq have = 0;
+    IntervalSeq pend = 0;
+  };
+  std::vector<std::vector<Cand>> by_creator(nc_);
+  VectorTime my_vt;
+  {
+    std::lock_guard<std::mutex> tl(table_mutex_);
+    my_vt = vt_;
+    for (PageId p = 0; p < pages_.size(); ++p) {
+      // Only pages that went valid->invalid since the last round AND that
+      // this context has faulted on before: it was using those, so it will
+      // plausibly fault on them again. Touching the flags without the page
+      // lock is safe — every worker is parked at the barrier.
+      if (!pages_[p].fresh_invalidate) continue;
+      pages_[p].fresh_invalidate = false;
+      if (!pages_[p].ever_accessed) continue;
+      for (ContextId c = 0; c < nc_; ++c) {
+        if (c == id_) continue;
+        const IntervalSeq pend = pending_[std::size_t{p} * nc_ + c];
+        const IntervalSeq have = applied_[std::size_t{p} * nc_ + c];
+        if (pend > have) by_creator[c].push_back({p, have, pend});
+      }
+    }
+  }
+  // applied_ only advances when a fetch session drains the buffer, so for a
+  // page that sits prefetched-but-untouched it never moves. Raise each
+  // candidate's `have` by the buffered coverage instead: the creator then
+  // ships only diffs above what is already in hand, and a fully covered pair
+  // drops out of the round entirely.
+  {
+    std::lock_guard<std::mutex> pm(prefetch_mutex_);
+    for (ContextId c = 0; c < nc_; ++c)
+      for (auto& cand : by_creator[c]) {
+        const auto it = prefetch_buffer_.find(cand.page);
+        if (it == prefetch_buffer_.end()) continue;
+        for (const auto& ent : it->second)
+          if (ent.creator == c) cand.have = std::max(cand.have, ent.covers);
+      }
+  }
+  for (ContextId c = 0; c < nc_; ++c) {
+    std::vector<std::pair<PageId, IntervalSeq>> list;
+    list.reserve(by_creator[c].size());
+    for (const Cand& cand : by_creator[c])
+      if (cand.pend > cand.have) list.emplace_back(cand.page, cand.have);
+    if (list.empty()) continue;
+    ByteWriter req;
+    req.put<std::uint32_t>(static_cast<std::uint32_t>(list.size()));
+    for (const auto& [p, have] : list) {
+      req.put<PageId>(p);
+      req.put<IntervalSeq>(have);
+    }
+    my_vt.serialize(req);
+    PrefetchBatch batch;
+    batch.creator = c;
+    batch.pages = list;
+    batch.reply = router_.transport().call_async(net::Envelope::request(
+        id_, c, net::MsgType::kDiffRequestBatch, req));
+    stats_->add(Counter::kPrefetchBatches);
+    stats_->add(Counter::kPrefetchPagesFetched, list.size());
+    OMSP_TRACE_EVENT(kPrefetchBatch, id_, c, list.size());
+    std::lock_guard<std::mutex> pm(prefetch_mutex_);
+    prefetch_inflight_.push_back(std::move(batch));
+  }
+}
+
+void DsmContext::absorb_batch_reply(PrefetchBatch& batch) {
+  double complete = 0;
+  auto reply = batch.reply.wait_at(&complete); // no clock advance: the wait
+  // is charged when (if) a fetch session drains the entry, via ready_us.
+  ByteReader r(reply);
+  auto recs = deserialize_records(r);
+  if (!recs.empty()) apply_records(recs); // takes page locks; no mutex held
+  const auto npages = r.get<std::uint32_t>();
+  OMSP_CHECK_MSG(npages == batch.pages.size(),
+                 "batch reply page count mismatch");
+  std::vector<std::pair<PageId, PrefetchEntry>> parsed;
+  parsed.reserve(npages);
+  for (std::uint32_t i = 0; i < npages; ++i) {
+    const auto p = r.get<PageId>();
+    OMSP_CHECK_MSG(p == batch.pages[i].first,
+                   "batch reply page order mismatch");
+    PrefetchEntry e;
+    e.creator = batch.creator;
+    e.floor = r.get<IntervalSeq>();
+    e.ready_us = complete;
+    // Coverage starts at the request-time `have` (already raised by any
+    // prior buffered entries) and extends over whatever actually shipped.
+    e.covers = std::max(batch.pages[i].second, e.floor);
+    const auto count = r.get<std::uint32_t>();
+    e.diffs.resize(count);
+    for (auto& d : e.diffs) {
+      d.seq = r.get<IntervalSeq>();
+      d.vt_sum = r.get<std::uint64_t>();
+      d.bytes = r.get_span<std::uint8_t>();
+      e.covers = std::max(e.covers, d.seq);
+    }
+    parsed.emplace_back(p, std::move(e));
+  }
+  std::lock_guard<std::mutex> pm(prefetch_mutex_);
+  for (auto& [p, e] : parsed) prefetch_buffer_[p].push_back(std::move(e));
+}
+
+void DsmContext::absorb_inflight_for(PageId p) {
+  std::vector<PrefetchBatch> mine;
+  {
+    std::lock_guard<std::mutex> pm(prefetch_mutex_);
+    for (std::size_t i = 0; i < prefetch_inflight_.size();) {
+      auto& batch = prefetch_inflight_[i];
+      const bool contains =
+          std::any_of(batch.pages.begin(), batch.pages.end(),
+                      [p](const auto& pr) { return pr.first == p; });
+      if (contains) {
+        mine.push_back(std::move(batch));
+        prefetch_inflight_.erase(prefetch_inflight_.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (auto& batch : mine) absorb_batch_reply(batch);
+}
+
+void DsmContext::absorb_prefetch_replies() {
+  std::vector<PrefetchBatch> batches;
+  {
+    std::lock_guard<std::mutex> pm(prefetch_mutex_);
+    batches.swap(prefetch_inflight_);
+  }
+  for (auto& batch : batches) absorb_batch_reply(batch);
+}
+
+void DsmContext::clear_prefetch_buffer() {
+  std::lock_guard<std::mutex> pm(prefetch_mutex_);
+  prefetch_buffer_.clear();
 }
 
 } // namespace omsp::tmk

@@ -54,6 +54,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bitset.hpp"
@@ -137,6 +138,23 @@ public:
   // times are equal — the caller (the barrier manager) checks that.
   void collect_garbage();
 
+  // --- barrier-time batched prefetch (overlap.prefetch) ---------------------
+  // Issue one aggregated kDiffRequestBatch per creator covering every page
+  // this context holds pending-but-unapplied notices for. Called once per
+  // context right after barrier departure (clock == departure time) so the
+  // fetch overlaps post-barrier compute until first touch. No-op unless the
+  // transport supports async and the protocol is lazy RC.
+  void start_prefetch_round();
+  // Block until every in-flight prefetch batch has replied and park the
+  // diffs in the prefetch buffer. Safe to call from any thread not holding
+  // a page lock.
+  void absorb_prefetch_replies();
+  // Drop all buffered prefetched diffs. The buffer persists across barriers
+  // (its per-entry coverage is what stops a round from re-shipping history),
+  // so this is only sound right after a GC validated every page — everything
+  // buffered is stale by then.
+  void clear_prefetch_buffer();
+
 private:
   struct PageMeta {
     PageState state = PageState::kRead;
@@ -144,6 +162,16 @@ private:
     // mode know when an explicit write-enable mprotect is required.
     Protection prot = Protection::kRead;
     bool fetch_in_progress = false;
+    // Prefetch-candidate gate, both required. `fresh_invalidate` is set on
+    // the valid->invalid transition and consumed by the next prefetch round:
+    // pages that stayed invalid because the context stopped touching them
+    // don't re-qualify. `ever_accessed` is set at the first fault and never
+    // cleared: pages are born kRead, so the transition alone also fires for
+    // born-valid pages this context never touched (e.g. a whole array the
+    // master initialized), which would ship every creator's stream here
+    // speculatively.
+    bool fresh_invalidate = false;
+    bool ever_accessed = false;
     // Set whenever write access is granted; cleared when a flush ships the
     // twin. While set, the twin may hold writes not yet covered by any
     // published interval, so the flush must mint a fresh interval for them.
@@ -179,6 +207,59 @@ private:
                            std::size_t len, bool full_page);
 
   std::uint64_t vt_sum_of_own(IntervalSeq seq);
+
+  // --- overlapped-fetch internals -------------------------------------------
+  // One diff as shipped on the wire, parked until a fetch session drains it.
+  struct BufferedDiff {
+    IntervalSeq seq = 0;
+    std::uint64_t vt_sum = 0;
+    DiffBytes bytes;
+  };
+  // Prefetched state for one (page, creator) pair. `floor` is the creator's
+  // last_listed_ answer (lets the drain advance applied_ even when no diffs
+  // shipped); `ready_us` is the modeled completion time of the batch reply.
+  // `covers` says every interval at or below it is either applied at request
+  // time or present in `diffs` — the next prefetch round requests only diffs
+  // above the buffered coverage, so a page that sits prefetched-but-untouched
+  // across barriers ships each diff once, not its whole history every round.
+  struct PrefetchEntry {
+    ContextId creator = 0;
+    IntervalSeq floor = 0;
+    IntervalSeq covers = 0;
+    double ready_us = 0;
+    std::vector<BufferedDiff> diffs;
+  };
+  // One outstanding kDiffRequestBatch: the pages asked of one creator plus
+  // the pending reply handle.
+  struct PrefetchBatch {
+    ContextId creator = 0;
+    std::vector<std::pair<PageId, IntervalSeq>> pages; // (page, have)
+    net::PendingReply reply;
+  };
+
+  // True when this context may issue/consume overlapped traffic.
+  bool overlap_async_fetch() const;
+  bool overlap_prefetch() const;
+  // Wait for one batch's reply, apply its piggybacked records (no locks
+  // held), then park its diffs in prefetch_buffer_. Caller must have removed
+  // the batch from prefetch_inflight_ already.
+  void absorb_batch_reply(PrefetchBatch& batch);
+  // Absorb only the in-flight batches whose page list contains p (fault
+  // path: first touch of a prefetched page waits for its batch instead of
+  // re-requesting the same diffs). No page lock may be held.
+  void absorb_inflight_for(PageId p);
+
+  // Guards prefetch_inflight_ and prefetch_buffer_. Never held across a
+  // blocking wait or while taking any other lock: absorb removes batches
+  // under it, releases it, waits/parses, then re-takes it to insert buffer
+  // entries; the fault-path drain takes it briefly inside a page lock.
+  std::mutex prefetch_mutex_;
+  std::vector<PrefetchBatch> prefetch_inflight_;
+  // Buffered prefetched diffs per page. A pure cache: applied_ only advances
+  // when entries are drained into an active fetch session (draining under
+  // the page lock), never at absorb time — otherwise a fetch session already
+  // past its drain could mark bytes applied that it never merged.
+  std::unordered_map<PageId, std::vector<PrefetchEntry>> prefetch_buffer_;
 
   const Config& config_;
   ContextId id_;

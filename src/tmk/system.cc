@@ -44,13 +44,28 @@ DsmSystem::DsmSystem(Config config)
   router_ = std::make_unique<net::Router>(std::move(context_node),
                                           config_.cost);
 
-  // Optional fault injection below the protocol: Config-plumbed, with
-  // OMSP_PERTURB_SEED=<n> as the code-free enable (mirrors tracing above).
+  // Optional layers below the protocol, stacked bottom-up: the queued
+  // transport (overlapped delivery) wraps the inline one, and fault
+  // injection wraps whichever of those is active. Both are Config-plumbed
+  // with environment variables (OMSP_OVERLAP=1, OMSP_PERTURB_SEED=<n>) as
+  // code-free enables, mirroring tracing above. The resolved overlap options
+  // are written back into config_ before any context is constructed so
+  // DsmContext's gating sees them.
   net::PerturbOptions perturb = config_.perturb;
   if (!perturb.enabled) perturb = net::PerturbOptions::from_env();
-  if (perturb.enabled)
-    router_->set_transport(std::make_unique<net::PerturbingTransport>(
-        std::make_unique<net::InlineTransport>(*router_), perturb));
+  config_.perturb = perturb;
+  net::OverlapOptions overlap = config_.overlap;
+  if (!overlap.enabled) overlap = net::OverlapOptions::from_env();
+  config_.overlap = overlap;
+  if (overlap.enabled || perturb.enabled) {
+    std::unique_ptr<net::Transport> t =
+        std::make_unique<net::InlineTransport>(*router_);
+    if (overlap.enabled)
+      t = std::make_unique<net::QueuedTransport>(std::move(t), *router_);
+    if (perturb.enabled)
+      t = std::make_unique<net::PerturbingTransport>(std::move(t), perturb);
+    router_->set_transport(std::move(t));
+  }
 
   contexts_.reserve(nc);
   for (ContextId c = 0; c < nc; ++c)
@@ -88,8 +103,10 @@ DsmSystem::~DsmSystem() {
   for (auto& w : workers_) w.join();
   master_clock_scope_.reset();
   master_heap_scope_.reset();
-  // All emitters are gone; drain the rings and write the configured sinks
-  // with the final counter snapshot the trace must reconcile against.
+  // All emitters are gone once in-flight transport jobs settle; drain the
+  // rings and write the configured sinks with the final counter snapshot the
+  // trace must reconcile against.
+  router_->transport().quiesce();
   if (tracer_ != nullptr) tracer_->finish(router_->snapshot());
 }
 
@@ -196,7 +213,9 @@ void DsmSystem::parallel(const std::function<void(Rank)>& fn) {
   mclk.skip_cpu();
 
   // Quiescent point: every slave has run its epilogue and emits nothing
-  // until the next fork, so the rings can be drained safely.
+  // until the next fork, so the rings can be drained safely (after any
+  // fire-and-forget transport jobs — perturbation duplicates — finish).
+  router_->transport().quiesce();
   if (tracer_ != nullptr) tracer_->drain_all();
 
   in_parallel_ = false;
@@ -257,8 +276,10 @@ void DsmSystem::barrier() {
       bar_departure_time_[c] = depart + cost;
     }
     maybe_collect_garbage();
+    start_prefetch_rounds();
     // Every other worker is parked in the wait below — a quiescent point;
     // drain so per-episode event volume, not per-run, sizes the rings.
+    router_->transport().quiesce();
     if (tracer_ != nullptr) tracer_->drain_all();
     std::fill(bar_ctx_arrived_.begin(), bar_ctx_arrived_.end(), 0);
     bar_arrived_ = 0;
@@ -443,6 +464,33 @@ void DsmSystem::lock_release(LockId l) {
   clk.skip_cpu();
 }
 
+void DsmSystem::start_prefetch_rounds() {
+  // Runs on the barrier manager's thread while every worker is parked.
+  // Issuing AND absorbing here (rather than letting batches race with
+  // post-barrier compute) keeps the creator-side state each batch observes —
+  // and therefore message counts and sizes — deterministic; the overlap
+  // lives entirely in modeled time: each batch is stamped as issued at its
+  // context's departure time, and the fault-path drain only charges the
+  // residual (ready_us - first_touch) stall, which is zero when the batch
+  // would have completed before the first touch.
+  if (!config_.overlap.enabled || !config_.overlap.prefetch ||
+      config_.protocol != Protocol::kLazyRC ||
+      !router_->transport().supports_async())
+    return;
+  const std::uint32_t nc = config_.num_contexts();
+  // The buffer deliberately persists across barriers: entries a context never
+  // touched last epoch carry their coverage forward, so the next round asks
+  // each creator only for diffs above what is already buffered instead of
+  // re-shipping the page's whole history every barrier.
+  for (ContextId c = 0; c < nc; ++c) {
+    sim::VirtualClock pclk(0.0); // pure runtime: no cpu accrual
+    pclk.set_now_us(bar_departure_time_[c]);
+    sim::VirtualClock::Binder bind(&pclk);
+    contexts_[c]->start_prefetch_round();
+  }
+  for (ContextId c = 0; c < nc; ++c) contexts_[c]->absorb_prefetch_replies();
+}
+
 void DsmSystem::maybe_collect_garbage() {
   // Runs on the barrier manager's thread while every worker is parked at the
   // barrier, so direct cross-context calls are safe.
@@ -492,6 +540,10 @@ void DsmSystem::maybe_collect_garbage() {
                    "GC requires identical vector times");
   }
   for (ContextId c = 0; c < nc; ++c) contexts_[c]->collect_garbage();
+  // Every page was just validated (applied == pending everywhere), so all
+  // buffered prefetch entries are stale; drop them with the rest of the
+  // history so requester-side buffers do not outlive the GC they survived.
+  for (ContextId c = 0; c < nc; ++c) contexts_[c]->clear_prefetch_buffer();
 }
 
 GlobalAddr DsmSystem::shared_malloc(std::size_t bytes, std::size_t align) {

@@ -98,6 +98,7 @@ public:
   // compared event-for-counter at finish time (docs/OBSERVABILITY.md), so
   // they must always cover the same window.
   void reset_stats() {
+    router_->transport().quiesce(); // in-flight sends still count/trace
     router_->reset_stats();
     if (tracer_ != nullptr) tracer_->clear();
   }
@@ -125,6 +126,13 @@ private:
 
   void worker_main(Rank rank);
   void rank_epilogue(Rank rank);
+  // Barrier-time batched prefetch (overlap.prefetch): run by the barrier
+  // manager at the quiescent point after departure records were applied.
+  // Issues each context's per-creator kDiffRequestBatch with a clock pinned
+  // to that context's departure time (so modeled completion overlaps
+  // post-barrier compute) and absorbs every reply before workers resume —
+  // keeping creator-side service deterministic per seed.
+  void start_prefetch_rounds();
   // TreadMarks-style GC, run by the barrier manager when stored diffs exceed
   // the configured threshold: validate everything, then drop history.
   void maybe_collect_garbage();

@@ -45,6 +45,18 @@ enum class EventKind : std::uint16_t {
   kGcEpisode,        // arg0 = stored diff bytes that triggered the episode
   kRegionBegin,      // arg0 = parallel region epoch (OpenMP layer)
   kRegionEnd,        // arg0 = parallel region epoch
+
+  // Appended kinds (values are wire-stable; append, never renumber).
+  kDiffFetchAsync,   // analysis-only: one overlapped fetch round; arg0 = page,
+                     // arg1 = total reply bytes; dur = stall (issue..last
+                     // reply completion on the faulting thread's clock)
+  kPrefetchBatch,    // counter-bearing: one kDiffRequestBatch issued at
+                     // barrier departure; arg0 = creator ctx, arg1 = pages
+                     // (kPrefetchBatches += 1, kPrefetchPagesFetched += arg1)
+  kPrefetchHit,      // counter-bearing: a fault-time creator need satisfied
+                     // entirely from prefetched diffs; arg0 = page,
+                     // arg1 = buffered bytes used; dur = residual stall
+                     // (0 = batch completed before first touch)
   kCount
 };
 
@@ -64,7 +76,8 @@ inline const char* event_name(EventKind k) {
                "interval_close", "notices_sent", "notices_recv",
                "invalidate",     "full_page_fetch",
                "barrier_wait",   "diff_fetch",   "gc_episode",
-               "region_begin",   "region_end"};
+               "region_begin",   "region_end",   "diff_fetch_async",
+               "prefetch_batch", "prefetch_hit"};
   return names[static_cast<std::size_t>(k)];
 }
 

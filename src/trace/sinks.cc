@@ -109,6 +109,8 @@ void append_args(std::string& out, const Event& e) {
   case EventKind::kDiffCreate:
   case EventKind::kDiffApply:
   case EventKind::kDiffFetch:
+  case EventKind::kDiffFetchAsync:
+  case EventKind::kPrefetchHit:
     std::snprintf(buf, sizeof buf, "{\"page\":%" PRIu64 ",\"bytes\":%" PRIu64
                   ",\"offnode\":%d}",
                   e.arg0, e.arg1, (e.flags & kFlagOffNode) ? 1 : 0);
@@ -243,9 +245,17 @@ StatsSnapshot reconstruct_counters(const std::vector<Event>& events) {
     case EventKind::kFullPageFetch:
       s[Counter::kFullPageFetches] += 1;
       break;
+    case EventKind::kPrefetchBatch:
+      s[Counter::kPrefetchBatches] += 1;
+      s[Counter::kPrefetchPagesFetched] += e.arg1;
+      break;
+    case EventKind::kPrefetchHit:
+      s[Counter::kPrefetchHits] += 1;
+      break;
     case EventKind::kLockGrant:
     case EventKind::kBarrierWait:
     case EventKind::kDiffFetch:
+    case EventKind::kDiffFetchAsync:
     case EventKind::kGcEpisode:
     case EventKind::kRegionBegin:
     case EventKind::kRegionEnd:

@@ -27,7 +27,10 @@ inline constexpr char kTraceMagic[8] = {'O', 'M', 'S', 'P',
                                         'T', 'R', 'C', '1'};
 // Version 2: kMessage packs (msg type << 32) | dst ctx into arg1 so
 // analyzers can report traffic by registry name (net/message.hpp).
-inline constexpr std::uint32_t kTraceVersion = 2;
+// Version 3: kMessage carries the modeled one-way cost in dur_us (the
+// analyzer's per-type latency column); adds the overlapped-fetch kinds
+// kDiffFetchAsync/kPrefetchBatch/kPrefetchHit and the prefetch counters.
+inline constexpr std::uint32_t kTraceVersion = 3;
 
 struct TraceFile {
   std::vector<Event> events;

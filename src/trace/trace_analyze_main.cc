@@ -50,6 +50,7 @@ int usage() {
 void cmd_summary(const TraceFile& tf) {
   struct MsgRow {
     std::uint64_t count = 0, bytes = 0, offnode = 0, perturbed = 0;
+    double lat_sum = 0, lat_max = 0; // modeled one-way cost (dur_us)
   };
   std::map<EventKind, std::uint64_t> by_kind;
   std::map<ContextId, std::uint64_t> by_ctx;
@@ -65,6 +66,8 @@ void cmd_summary(const TraceFile& tf) {
       row.bytes += e.arg0;
       if (e.flags & kFlagOffNode) ++row.offnode;
       if (e.flags & kFlagPerturbed) ++row.perturbed;
+      row.lat_sum += e.dur_us;
+      row.lat_max = std::max(row.lat_max, e.dur_us);
     }
   }
   std::printf("%zu events, %" PRIu64 " dropped, %.1f us of virtual time\n\n",
@@ -73,13 +76,16 @@ void cmd_summary(const TraceFile& tf) {
   for (const auto& [kind, n] : by_kind)
     std::printf("%-18s %12" PRIu64 "\n", event_name(kind), n);
   if (!by_msg.empty()) {
-    std::printf("\n%-18s %10s %12s %10s %10s\n", "message", "count", "bytes",
-                "offnode", "perturbed");
+    std::printf("\n%-18s %10s %12s %10s %10s %10s %10s\n", "message", "count",
+                "bytes", "offnode", "perturbed", "lat_mean", "lat_max");
     for (const auto& [type, row] : by_msg)
       std::printf("%-18s %10" PRIu64 " %12" PRIu64 " %10" PRIu64 " %10" PRIu64
-                  "\n",
+                  " %10.2f %10.2f\n",
                   net::msg_name(type), row.count, row.bytes, row.offnode,
-                  row.perturbed);
+                  row.perturbed,
+                  row.count != 0 ? row.lat_sum / static_cast<double>(row.count)
+                                 : 0.0,
+                  row.lat_max);
   }
   std::printf("\n%-18s %12s\n", "context", "events");
   for (const auto& [ctx, n] : by_ctx)

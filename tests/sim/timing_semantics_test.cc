@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "../common/env_guard.hpp"
 #include "tmk/system.hpp"
 
 namespace omsp::tmk {
@@ -85,7 +86,9 @@ TEST(TimingSemantics, ClocksNeverRegressAcrossRegions) {
 
 TEST(TimingSemantics, OffNodeCostsMoreThanIntraNode) {
   // Same workload on one node (2 procs) vs two nodes (1 proc each): the
-  // cross-node version pays switch latencies and must take longer.
+  // cross-node version pays switch latencies and must take longer. The
+  // margin assumes the seed fetch path — pin the environment.
+  const test::ScopedEnvClear env_guard;
   const auto run = [](std::uint32_t nodes, std::uint32_t ppn) {
     Config cfg;
     cfg.topology = sim::Topology(nodes, ppn);
@@ -112,7 +115,10 @@ TEST(TimingSemantics, OffNodeCostsMoreThanIntraNode) {
 
 TEST(TimingSemantics, ThreadModeBeatsProcessModeOnSharedReads) {
   // Four readers of one page: thread mode faults once per node, process mode
-  // once per processor — the Table 3 effect expressed in time.
+  // once per processor — the Table 3 effect expressed in time. The margin is
+  // small enough that env-forced overlapped fetching can flip it; pin the
+  // environment so the test measures the mode effect it names.
+  const test::ScopedEnvClear env_guard;
   const auto run = [](Mode mode) {
     Config cfg;
     cfg.topology = sim::Topology(2, 2);
