@@ -41,9 +41,28 @@ done
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
-# Default transport only: no OMSP_OVERLAP in the environment — this is the
-# bit-for-bit seed configuration the drift check certifies.
-unset OMSP_OVERLAP OMSP_OVERLAP_FETCH OMSP_OVERLAP_PREFETCH OMSP_PERTURB_SEED
+# Default transport only: no OMSP_OVERLAP / loss in the environment — this
+# is the bit-for-bit seed configuration the drift check certifies.
+unset OMSP_OVERLAP OMSP_OVERLAP_FETCH OMSP_OVERLAP_PREFETCH OMSP_PERTURB_SEED \
+      OMSP_LOSS_PROB
+
+# The no-loss baseline must not engage the reliability layer at all: zero
+# losses, zero retransmissions, zero acks (and therefore zero extra wire
+# bytes — the inline seed path is byte-for-byte unchanged). Audited from a
+# recorded trace so the check covers the same counters CI reconciles.
+if [ -x "$BUILD_DIR/src/trace/omsp-trace" ]; then
+  echo "== no-loss reliability invariant =="
+  "$BUILD_DIR/src/trace/omsp-trace" record sor -o "$TMP/noloss" >/dev/null
+  for c in msgs_lost retransmits acks_sent; do
+    n=$("$BUILD_DIR/src/trace/omsp-trace" check "$TMP/noloss.trace" \
+        | awk -v c="$c" '$1 == c { print $2 }')
+    if [ "$n" != "0" ]; then
+      echo "bench_smoke: no-loss baseline has $c=$n, want 0" >&2
+      exit 1
+    fi
+  done
+  echo "no-loss baseline: zero losses/retransmits/acks"
+fi
 
 echo "== table2_traffic --smoke =="
 "$BUILD_DIR/bench/table2_traffic" --smoke --json "$TMP/table2.json"

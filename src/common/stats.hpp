@@ -49,6 +49,9 @@ enum class Counter : std::size_t {
   kPrefetchBatches,     // aggregated kDiffRequestBatch rounds issued
   kPrefetchPagesFetched, // pages covered by those batches
   kPrefetchHits,        // fault-time creator needs satisfied from the buffer
+  kMsgsLost,            // one-way deliveries dropped by the lossy transport
+  kRetransmits,         // retransmissions issued after a modeled RTO expiry
+  kAcksSent,            // explicit ack messages for reliable notice channels
   kCount
 };
 
@@ -62,7 +65,8 @@ inline const char* counter_name(Counter c) {
                "write_notices_recv", "page_invalidations",
                "barriers",         "lock_acquires",   "lock_remote_acquires",
                "full_page_fetches", "prefetch_batches",
-               "prefetch_pages_fetched", "prefetch_hits"};
+               "prefetch_pages_fetched", "prefetch_hits",
+               "msgs_lost",        "retransmits",     "acks_sent"};
   return names[static_cast<std::size_t>(c)];
 }
 

@@ -33,6 +33,13 @@ namespace omsp::net {
 // byte totals the way TreadMarks counts its message headers.
 inline constexpr std::size_t kHeaderBytes = 16;
 
+// Reliable-delivery extension (docs/PROTOCOL.md "Reliable delivery"): when
+// the transport runs with loss enabled, every request/notice additionally
+// carries a 32-bit per-(src,dst)-channel sequence number and a 32-bit
+// cumulative ack. Replies ack their request implicitly (the request's seq
+// rides in the reply framing), so only the forward direction grows.
+inline constexpr std::size_t kSeqAckBytes = 8;
+
 // Every message type in the system. Values are part of the wire/trace
 // encoding (they appear in trace files); append, never renumber.
 enum class MsgType : std::uint16_t {
@@ -51,6 +58,7 @@ enum class MsgType : std::uint16_t {
   kLoopChunk,         // dynamic/guided loop chunk grab round trip
   kMpiData,           // MPI layer point-to-point payload
   kDiffRequestBatch,  // aggregated multi-page diff fetch (barrier prefetch)
+  kAck,               // reliability layer: cumulative ack for a notice channel
   kCount
 };
 
@@ -61,7 +69,8 @@ inline const char* msg_name(MsgType t) {
                "page_request",  "fork",          "join",
                "barrier_arrival", "barrier_departure", "lock_request",
                "lock_forward",  "lock_grant",    "gc_records",
-               "loop_chunk",    "mpi_data",      "diff_request_batch"};
+               "loop_chunk",    "mpi_data",      "diff_request_batch",
+               "ack"};
   const auto i = static_cast<std::size_t>(t);
   return i < names.size() ? names[i] : "invalid";
 }
@@ -97,9 +106,16 @@ struct Envelope {
   std::span<const std::uint8_t> payload{};
   std::size_t accounted_bytes = 0;
   std::uint16_t trace_flags = 0;
+  // Reliable-delivery header fields, stamped by the reliability layer when
+  // loss is enabled (zero and absent from the wire otherwise): per-channel
+  // sequence number, cumulative ack, and the kSeqAckBytes the extension adds
+  // to the wire size.
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::size_t wire_extra = 0;
 
   std::size_t payload_size() const {
-    return payload.empty() ? accounted_bytes : payload.size();
+    return (payload.empty() ? accounted_bytes : payload.size()) + wire_extra;
   }
 
   static Envelope request(ContextId src, ContextId dst, MsgType type,

@@ -122,6 +122,41 @@ public:
     return cost;
   }
 
+  // --- reliability accounting (net::PerturbingTransport's loss layer) -------
+  // Same funnel discipline as account(): every counter bump is paired with
+  // its trace event at the same site, so `omsp-trace check` stays exact
+  // under loss. The lost copy's wire transmission is accounted separately
+  // through account() by the caller — these record the protocol-level facts.
+
+  // A one-way delivery of `env` was dropped in flight. Attributed to the
+  // sender of the dropped copy.
+  void account_loss(const Envelope& env) {
+    stats_[env.src]->add(Counter::kMsgsLost);
+    OMSP_TRACE_EVENT(kMessageLost, env.src,
+                     env.payload_size() + kHeaderBytes,
+                     message_trace_arg1(env.type, env.dst), env.trace_flags,
+                     0.0);
+  }
+
+  // The sender's RTO for `env` expired and attempt `attempt` (1-based count
+  // of retransmissions so far) is being issued after waiting rto_us.
+  void account_retransmit(const Envelope& env, std::uint32_t attempt,
+                          double rto_us) {
+    stats_[env.src]->add(Counter::kRetransmits);
+    OMSP_TRACE_EVENT(kRetransmit, env.src, attempt,
+                     message_trace_arg1(env.type, env.dst), env.trace_flags,
+                     rto_us);
+  }
+
+  // Context `acker` sent an explicit ack for seq `seq` of the notice channel
+  // that delivered `env` (the ack message itself is accounted via account()).
+  void account_ack(ContextId acker, const Envelope& env, std::uint32_t seq) {
+    stats_[acker]->add(Counter::kAcksSent);
+    OMSP_TRACE_EVENT(kAck, acker, seq,
+                     message_trace_arg1(env.type, env.dst), env.trace_flags,
+                     0.0);
+  }
+
 private:
   std::vector<NodeId> context_node_;
   sim::CostModel model_;

@@ -1,6 +1,7 @@
 #include "net/transport.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/check.hpp"
@@ -57,22 +58,38 @@ PendingReply Transport::call_async(const Envelope& env) {
 InlineTransport::InlineTransport(Router& router)
     : router_(router), nnodes_(router.num_nodes()) {
   if (nnodes_ > 0) {
-    link_inflight_ = std::make_unique<std::atomic<std::uint32_t>[]>(
+    link_windows_ = std::make_unique<LinkWindow[]>(
         static_cast<std::size_t>(nnodes_) * nnodes_);
   }
 }
 
 double InlineTransport::contention_us(const Envelope& env,
-                                      std::size_t wire_bytes) {
+                                      std::size_t wire_bytes, bool reserve) {
   const auto& m = router_.model();
   double extra = m.occupancy_us(wire_bytes);
-  if (m.link_contention_us > 0 && link_inflight_ != nullptr) {
+  if (m.link_contention_us > 0 && link_windows_ != nullptr) {
     const std::size_t link =
         static_cast<std::size_t>(router_.node_of(env.src)) * nnodes_ +
         router_.node_of(env.dst);
-    // Messages already in flight on this link queue ahead of us.
-    extra += m.link_contention_us *
-             link_inflight_[link].load(std::memory_order_relaxed);
+    auto* clock = sim::VirtualClock::current();
+    const double now = clock != nullptr ? clock->now_us() : 0;
+    std::lock_guard<std::mutex> lk(link_mutex_);
+    LinkWindow& w = link_windows_[link];
+    if (now >= w.end) {
+      // Idle link at this modeled time: a fresh busy period.
+      if (reserve) {
+        w.start = now;
+        w.end = now + m.link_contention_us;
+      }
+    } else if (now >= w.start) {
+      // Inside the current busy period: queue behind it and pay the
+      // residual window.
+      extra += w.end - now;
+      if (reserve) w.end += m.link_contention_us;
+    }
+    // now < w.start: this send modeled-precedes the current busy period —
+    // it would have transmitted before the period began, so no queueing
+    // charge no matter which host thread got here first.
   }
   return extra;
 }
@@ -84,14 +101,11 @@ std::vector<std::uint8_t> InlineTransport::call(const Envelope& env) {
   auto* clock = sim::VirtualClock::current();
   const auto& model = router_.model();
 
-  const bool track = model.link_contention_us > 0 && link_inflight_ != nullptr;
-  const std::size_t link =
-      track ? static_cast<std::size_t>(router_.node_of(env.src)) * nnodes_ +
-                  router_.node_of(env.dst)
-            : 0;
+  // Requests reserve the link's modeled occupancy window (so a nested send
+  // inside the handler queues behind this one); replies and notifications
+  // only pay against open windows.
   const double req_extra =
-      contention_us(env, env.payload_size() + kHeaderBytes);
-  if (track) link_inflight_[link].fetch_add(1, std::memory_order_relaxed);
+      contention_us(env, env.payload_size() + kHeaderBytes, /*reserve=*/true);
 
   const double req_cost = router_.account(env);
   if (clock != nullptr)
@@ -101,8 +115,6 @@ std::vector<std::uint8_t> InlineTransport::call(const Envelope& env) {
   ByteReader reader(env.payload);
   handler->handle(env.src, env.type, reader, reply);
 
-  if (track) link_inflight_[link].fetch_sub(1, std::memory_order_relaxed);
-
   Envelope rep;
   rep.src = env.dst;
   rep.dst = env.src;
@@ -111,13 +123,15 @@ std::vector<std::uint8_t> InlineTransport::call(const Envelope& env) {
   rep.trace_flags = env.trace_flags;
   const double reply_cost = router_.account(rep);
   if (clock != nullptr)
-    clock->charge(reply_cost + contention_us(rep, reply.size() + kHeaderBytes));
+    clock->charge(reply_cost + contention_us(rep, reply.size() + kHeaderBytes,
+                                             /*reserve=*/false));
   return reply.take();
 }
 
 double InlineTransport::notify(const Envelope& env) {
-  return router_.account(env) +
-         contention_us(env, env.payload_size() + kHeaderBytes);
+  return router_.account(env) + contention_us(env,
+                                              env.payload_size() + kHeaderBytes,
+                                              /*reserve=*/false);
 }
 
 // ---------------------------------------------------------------------------
@@ -164,6 +178,12 @@ QueuedTransport::~QueuedTransport() {
 }
 
 PendingReply QueuedTransport::call_async(const Envelope& env) {
+  return call_async_with_dups(env, {});
+}
+
+PendingReply
+QueuedTransport::call_async_with_dups(const Envelope& env,
+                                      std::span<const DupSpec> dups) {
   // The request is fully accounted at issue time on the caller's board, so
   // counters match the synchronous path exactly; only the reply side moves
   // to the service worker.
@@ -182,20 +202,48 @@ PendingReply QueuedTransport::call_async(const Envelope& env) {
   job.trace_flags = env.trace_flags;
   job.payload.assign(env.payload.begin(), env.payload.end());
   job.arrive_us = (clock != nullptr ? clock->now_us() : 0) + req_cost;
-  job.seq = issue_seq_.fetch_add(1, std::memory_order_relaxed);
 
   PendingReply p;
   p.state_ = std::make_shared<PendingReply::State>();
   job.state = p.state_;
 
+  // Duplicate/retransmission riders: accounted at issue like the primary,
+  // serviced on the same channel, replies dropped. Their arrivals are
+  // pinned at (primary arrival + delay) — never earlier — so with the
+  // consecutive issue seqs assigned under the queue lock below, no rider
+  // can be selected ahead of its primary. (Injecting them through a fresh
+  // call_async would recompute arrival from the caller's clock and take an
+  // unrelated global seq — nothing would pin them behind the primary.)
+  std::vector<Job> riders;
+  riders.reserve(dups.size());
+  for (const DupSpec& d : dups) {
+    (void)router_.account(d.env);
+    Job r;
+    r.src = d.env.src;
+    r.dst = d.env.dst;
+    r.type = d.env.type;
+    r.trace_flags = d.env.trace_flags;
+    r.payload.assign(d.env.payload.begin(), d.env.payload.end());
+    r.arrive_us = job.arrive_us + std::max(0.0, d.delay_us);
+    riders.push_back(std::move(r));
+  }
+
   {
     std::lock_guard<std::mutex> lk(idle_mutex_);
-    ++outstanding_;
+    outstanding_ += 1 + riders.size();
   }
   Worker& w = *workers_[env.dst];
   {
+    // One critical section for the whole group, with issue seqs assigned
+    // under the lock: the primary and its riders are contiguous in issue
+    // order even under concurrent issuers to the same destination.
     std::lock_guard<std::mutex> lk(w.mutex);
+    job.seq = issue_seq_.fetch_add(1, std::memory_order_relaxed);
     w.queue.push_back(std::move(job));
+    for (Job& r : riders) {
+      r.seq = issue_seq_.fetch_add(1, std::memory_order_relaxed);
+      w.queue.push_back(std::move(r));
+    }
   }
   w.cv.notify_one();
   return p;
@@ -295,6 +343,30 @@ PerturbOptions PerturbOptions::from_env() {
       o.seed = v;
     }
   }
+  if (const char* s = std::getenv("OMSP_LOSS_PROB"); s != nullptr && *s) {
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end != s && v > 0) {
+      if (!o.enabled) {
+        // Loss requested on its own: inject ONLY loss, so lossy runs are
+        // perturbed-run comparable and the knobs stay orthogonal.
+        o.enabled = true;
+        o.jitter_max_us = 0;
+        o.duplicate_prob = 0;
+        o.reorder_prob = 0;
+      }
+      o.loss_prob = v < 1.0 ? v : 0.95; // cap: p=1 can never deliver
+      // Env-driven lossy sweeps run the entire suite, so scale the retry
+      // cap to the requested rate: an attempt fails with q = 1-(1-p)^2
+      // (request or reply lost); pick the cap that leaves a per-exchange
+      // exhaustion residual of q^(cap+1) <= 1e-12. Explicit Config users
+      // keep whatever cap they set.
+      const double q =
+          1.0 - (1.0 - o.loss_prob) * (1.0 - o.loss_prob);
+      const double need = std::ceil(-12.0 / std::log10(q));
+      o.max_retries = std::clamp(static_cast<std::uint32_t>(need), 8u, 64u);
+    }
+  }
   return o;
 }
 
@@ -302,8 +374,9 @@ PerturbOptions PerturbOptions::from_env() {
 // PerturbingTransport
 
 PerturbingTransport::PerturbingTransport(std::unique_ptr<Transport> inner,
-                                         PerturbOptions opts)
-    : inner_(std::move(inner)), opts_(opts), rng_(opts.seed) {}
+                                         Router& router, PerturbOptions opts)
+    : inner_(std::move(inner)), router_(router), opts_(opts), rng_(opts.seed),
+      loss_base_(opts.seed ^ 0x6c6f737379ULL) {}
 
 PerturbingTransport::Draw PerturbingTransport::draw(bool one_way) {
   std::lock_guard lock(mutex_);
@@ -321,16 +394,118 @@ PerturbingTransport::Draw PerturbingTransport::draw(bool one_way) {
   return d;
 }
 
+PerturbingTransport::Channel& PerturbingTransport::channel(ContextId src,
+                                                           ContextId dst) {
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(src) * router_.num_contexts() + dst;
+  auto it = channels_.find(key);
+  if (it == channels_.end())
+    it = channels_.emplace(key, Channel(loss_base_.split(key))).first;
+  return it->second;
+}
+
+bool PerturbingTransport::draw_loss(Channel& ch, std::uint32_t copy) {
+  // drop_first is fully deterministic and consumes no randomness: the first
+  // copy of every exchange in each direction is dropped, retransmissions go
+  // through — every exchange exercises the whole retransmit path.
+  if (opts_.drop_first) return copy == 0;
+  return ch.rng.next_bool(opts_.loss_prob);
+}
+
+PerturbingTransport::LossSchedule
+PerturbingTransport::draw_roundtrip(ContextId src, ContextId dst,
+                                    std::uint32_t* seq) {
+  std::lock_guard lock(mutex_);
+  Channel& ch = channel(src, dst);
+  *seq = ch.send_seq++;
+  LossSchedule s;
+  std::uint32_t fwd = 0; // forward (request/notice) copies drawn so far
+  std::uint32_t bwd = 0; // backward (reply/ack) copies drawn so far
+  for (std::uint32_t a = 0; a <= opts_.max_retries; ++a) {
+    ++s.attempts;
+    if (draw_loss(ch, fwd++)) {
+      ++s.req_lost;
+    } else if (draw_loss(ch, bwd++)) {
+      ++s.reply_lost;
+    } else {
+      s.delivered = true;
+      break;
+    }
+    s.penalty_us += router_.model().retransmit_timeout_us(a);
+  }
+  return s;
+}
+
 std::vector<std::uint8_t> PerturbingTransport::call(const Envelope& env) {
   const Draw d = draw(/*one_way=*/false);
-  auto reply = inner_->call(env);
+
+  Envelope e = env;
+  std::uint32_t attempt = 0; // copies of the request sent so far
+  if (opts_.lossy()) {
+    std::uint32_t seq = 0;
+    const LossSchedule sched = draw_roundtrip(env.src, env.dst, &seq);
+    e.seq = seq;
+    e.wire_extra = kSeqAckBytes;
+    auto* clock = sim::VirtualClock::current();
+    const auto& model = router_.model();
+
+    // Copies whose REQUEST was dropped in flight: the wire send is
+    // accounted (it left the sender), the handler never runs, the caller
+    // blocks out the modeled RTO and retransmits.
+    for (std::uint32_t i = 0; i < sched.req_lost; ++i, ++attempt) {
+      Envelope lost = e;
+      if (attempt > 0)
+        lost.trace_flags = static_cast<std::uint16_t>(lost.trace_flags |
+                                                      trace::kFlagPerturbed);
+      (void)inner_->notify(lost);
+      router_.account_loss(lost);
+      const double rto = model.retransmit_timeout_us(attempt);
+      router_.account_retransmit(lost, attempt + 1, rto);
+      if (clock != nullptr) clock->charge(rto);
+      std::lock_guard lock(mutex_);
+      ++stats_.losses;
+      ++stats_.retransmits;
+      stats_.rto_wait_us += rto;
+    }
+    // Copies that were delivered but whose REPLY was dropped: the handler
+    // runs (and will run AGAIN on the retransmission — the idempotence
+    // contract, exercised by genuine loss), the reply evaporates, the
+    // caller times out and retransmits.
+    for (std::uint32_t i = 0; i < sched.reply_lost; ++i, ++attempt) {
+      Envelope dup = e;
+      if (attempt > 0)
+        dup.trace_flags = static_cast<std::uint16_t>(dup.trace_flags |
+                                                     trace::kFlagPerturbed);
+      auto r = inner_->call(dup); // request + reply accounted; reply dropped
+      Envelope lost_reply;
+      lost_reply.src = e.dst;
+      lost_reply.dst = e.src;
+      lost_reply.type = e.type;
+      lost_reply.accounted_bytes = r.size();
+      router_.account_loss(lost_reply);
+      const double rto = model.retransmit_timeout_us(attempt);
+      router_.account_retransmit(dup, attempt + 1, rto);
+      if (clock != nullptr) clock->charge(rto);
+      std::lock_guard lock(mutex_);
+      ++stats_.losses;
+      ++stats_.retransmits;
+      stats_.rto_wait_us += rto;
+    }
+    if (!sched.delivered)
+      throw TransportError(env.src, env.dst, env.type, sched.attempts);
+    if (attempt > 0)
+      e.trace_flags = static_cast<std::uint16_t>(e.trace_flags |
+                                                 trace::kFlagPerturbed);
+  }
+
+  auto reply = inner_->call(e);
   if (auto* clock = sim::VirtualClock::current();
       clock != nullptr && d.jitter_us > 0)
     clock->charge(d.jitter_us);
   if (d.duplicate) {
     // Retransmission: the destination handler runs again on the same request
     // and must converge (idempotence contract); the first reply stands.
-    Envelope dup = env;
+    Envelope dup = e;
     dup.trace_flags =
         static_cast<std::uint16_t>(dup.trace_flags | trace::kFlagPerturbed);
     (void)inner_->call(dup);
@@ -340,29 +515,189 @@ std::vector<std::uint8_t> PerturbingTransport::call(const Envelope& env) {
 
 PendingReply PerturbingTransport::call_async(const Envelope& env) {
   const Draw d = draw(/*one_way=*/false);
-  PendingReply p = inner_->call_async(env);
-  // Jitter delays the reply's delivery at the requester; the destination's
-  // service clock is unaffected, mirroring the synchronous path.
-  p.post_delay_us_ += d.jitter_us;
+
+  Envelope e = env;
+  std::vector<QueuedTransport::DupSpec> riders;
+  double penalty = 0; // modeled RTO latency added to the reply's completion
+  if (opts_.lossy()) {
+    std::uint32_t seq = 0;
+    const LossSchedule sched = draw_roundtrip(env.src, env.dst, &seq);
+    e.seq = seq;
+    e.wire_extra = kSeqAckBytes;
+    const auto& model = router_.model();
+    std::uint32_t attempt = 0;
+
+    // Request copies dropped in flight: accounted on the caller now; the
+    // retransmit timer runs concurrently with the caller's compute, so the
+    // RTO is folded into the reply's completion time, not charged here.
+    for (std::uint32_t i = 0; i < sched.req_lost; ++i, ++attempt) {
+      Envelope lost = e;
+      if (attempt > 0)
+        lost.trace_flags = static_cast<std::uint16_t>(lost.trace_flags |
+                                                      trace::kFlagPerturbed);
+      (void)inner_->notify(lost);
+      router_.account_loss(lost);
+      const double rto = model.retransmit_timeout_us(attempt);
+      router_.account_retransmit(lost, attempt + 1, rto);
+      penalty += rto;
+      std::lock_guard lock(mutex_);
+      ++stats_.losses;
+      ++stats_.retransmits;
+      stats_.rto_wait_us += rto;
+    }
+    if (!sched.delivered)
+      throw TransportError(env.src, env.dst, env.type, sched.attempts);
+    if (attempt > 0)
+      e.trace_flags = static_cast<std::uint16_t>(e.trace_flags |
+                                                 trace::kFlagPerturbed);
+    // Reply copies dropped in flight: each retransmitted request is
+    // re-serviced through the destination's idempotent handler as a rider
+    // behind the primary, arriving a cumulative RTO later — the modeled
+    // retransmit timer. quiesce() drains these pending retransmissions.
+    for (std::uint32_t i = 0; i < sched.reply_lost; ++i, ++attempt) {
+      Envelope lost_reply;
+      lost_reply.src = e.dst;
+      lost_reply.dst = e.src;
+      lost_reply.type = e.type;
+      router_.account_loss(lost_reply);
+      const double rto = model.retransmit_timeout_us(attempt);
+      Envelope dup = e;
+      dup.trace_flags = static_cast<std::uint16_t>(dup.trace_flags |
+                                                   trace::kFlagPerturbed);
+      router_.account_retransmit(dup, attempt + 1, rto);
+      penalty += rto;
+      riders.push_back({dup, penalty});
+      std::lock_guard lock(mutex_);
+      ++stats_.losses;
+      ++stats_.retransmits;
+      stats_.rto_wait_us += rto;
+    }
+  }
   if (d.duplicate) {
-    Envelope dup = env;
+    Envelope dup = e;
     dup.trace_flags =
         static_cast<std::uint16_t>(dup.trace_flags | trace::kFlagPerturbed);
-    (void)inner_->call_async(dup); // serviced and dropped; first reply stands
+    // Injected duplicate: enqueued directly behind the primary on the same
+    // channel (delay 0) — serviced and dropped; the primary's reply stands.
+    riders.push_back({dup, 0.0});
   }
+
+  PendingReply p;
+  if (auto* queued = dynamic_cast<QueuedTransport*>(inner_.get());
+      queued != nullptr && !riders.empty()) {
+    p = queued->call_async_with_dups(e, riders);
+  } else {
+    p = inner_->call_async(e);
+    // Synchronous bridge (no per-channel queue to order against): the
+    // primary's round trip completed before each rider is issued, so
+    // service order is inherently primary-first.
+    for (const auto& r : riders) (void)inner_->call_async(r.env);
+  }
+  // Jitter (and the modeled retransmission latency) delays the reply's
+  // delivery at the requester; the destination's service clock is
+  // unaffected, mirroring the synchronous path.
+  p.post_delay_us_ += d.jitter_us + penalty;
   return p;
 }
 
 Delivery PerturbingTransport::notify_ex(const Envelope& env) {
   const Draw d = draw(/*one_way=*/true);
   Delivery out;
-  out.cost_us = inner_->notify(env) + d.jitter_us;
+
+  if (!opts_.lossy()) {
+    out.cost_us = inner_->notify(env) + d.jitter_us;
+    if (d.duplicate) {
+      Envelope dup = env;
+      dup.trace_flags =
+          static_cast<std::uint16_t>(dup.trace_flags | trace::kFlagPerturbed);
+      out.duplicate = true;
+      out.dup_cost_us = inner_->notify(dup);
+    }
+    return out;
+  }
+
+  // Reliable notice channel: seq-stamped copies, explicit kAck confirmation,
+  // duplicate suppression by (channel, seq) on the receive side.
+  std::uint32_t seq = 0;
+  const LossSchedule sched = draw_roundtrip(env.src, env.dst, &seq);
+  Envelope e = env;
+  e.seq = seq;
+  e.wire_extra = kSeqAckBytes;
+  const auto& model = router_.model();
+  std::uint32_t attempt = 0;
+
+  // Notice copies dropped in flight: the content arrives only once a copy
+  // gets through, so each loss delays delivery by the sender's RTO.
+  for (std::uint32_t i = 0; i < sched.req_lost; ++i, ++attempt) {
+    Envelope lost = e;
+    if (attempt > 0)
+      lost.trace_flags = static_cast<std::uint16_t>(lost.trace_flags |
+                                                    trace::kFlagPerturbed);
+    (void)inner_->notify(lost);
+    router_.account_loss(lost);
+    const double rto = model.retransmit_timeout_us(attempt);
+    router_.account_retransmit(lost, attempt + 1, rto);
+    out.cost_us += rto;
+    std::lock_guard lock(mutex_);
+    ++stats_.losses;
+    ++stats_.retransmits;
+    stats_.rto_wait_us += rto;
+  }
+  if (!sched.delivered)
+    throw TransportError(env.src, env.dst, env.type, sched.attempts);
+
+  // The copy that got through delivers the content.
+  Envelope fin = e;
+  if (attempt > 0)
+    fin.trace_flags = static_cast<std::uint16_t>(fin.trace_flags |
+                                                 trace::kFlagPerturbed);
+  out.cost_us += inner_->notify(fin) + d.jitter_us;
+  {
+    std::lock_guard lock(mutex_);
+    Channel& ch = channel(env.src, env.dst);
+    if (seq + 1 > ch.recv_applied) ch.recv_applied = seq + 1;
+  }
+
+  auto send_ack = [&]() -> Envelope {
+    Envelope ack = Envelope::notice(e.dst, e.src, MsgType::kAck, 0);
+    ack.ack = seq;
+    ack.wire_extra = kSeqAckBytes;
+    (void)inner_->notify(ack);
+    router_.account_ack(e.dst, e, seq);
+    std::lock_guard lock(mutex_);
+    ++stats_.acks;
+    return ack;
+  };
+
+  // Ack rounds that were lost: the sender's RTO expires and it retransmits
+  // the notice; the receiver sees seq <= its cumulative cursor, suppresses
+  // the duplicate (the content is NOT re-applied) and re-acks.
+  for (std::uint32_t i = 0; i < sched.reply_lost; ++i, ++attempt) {
+    const Envelope ack = send_ack();
+    router_.account_loss(ack);
+    const double rto = model.retransmit_timeout_us(attempt);
+    Envelope dup = e;
+    dup.trace_flags =
+        static_cast<std::uint16_t>(dup.trace_flags | trace::kFlagPerturbed);
+    router_.account_retransmit(dup, attempt + 1, rto);
+    out.duplicate = true;
+    out.dup_cost_us += inner_->notify(dup);
+    std::lock_guard lock(mutex_);
+    ++stats_.losses;
+    ++stats_.retransmits;
+    ++stats_.dups_suppressed;
+    stats_.rto_wait_us += rto;
+  }
+  (void)send_ack(); // the ack that finally confirms delivery
+
   if (d.duplicate) {
-    Envelope dup = env;
+    Envelope dup = fin;
     dup.trace_flags =
         static_cast<std::uint16_t>(dup.trace_flags | trace::kFlagPerturbed);
     out.duplicate = true;
-    out.dup_cost_us = inner_->notify(dup);
+    out.dup_cost_us += inner_->notify(dup);
+    std::lock_guard lock(mutex_);
+    ++stats_.dups_suppressed; // its seq is already applied on the channel
   }
   return out;
 }
@@ -375,6 +710,14 @@ double PerturbingTransport::notify(const Envelope& env) {
 PerturbStats PerturbingTransport::stats() const {
   std::lock_guard lock(mutex_);
   return stats_;
+}
+
+void PerturbingTransport::reset_stats() {
+  {
+    std::lock_guard lock(mutex_);
+    stats_ = PerturbStats{};
+  }
+  inner_->reset_stats();
 }
 
 } // namespace omsp::net

@@ -32,6 +32,20 @@
 //    seeded generator, so a single-threaded message sequence perturbs
 //    reproducibly; injected deliveries carry trace::kFlagPerturbed.
 //
+//    With loss enabled (PerturbOptions.loss_prob > 0 or drop_first), the
+//    decorator additionally runs a reliable-delivery protocol over the lossy
+//    link (docs/PROTOCOL.md "Reliable delivery"): every request/notice is
+//    stamped with a per-(src,dst)-channel sequence number (kSeqAckBytes on
+//    the wire), each one-way delivery is dropped independently per a
+//    PER-LINK seeded stream (Rng::split by link index, so loss schedules
+//    are seed-deterministic and host-schedule free), lost exchanges pay a
+//    modeled RTO with exponential backoff (cost model rto_us/rto_backoff)
+//    before retransmitting, retransmitted requests are re-serviced through
+//    the destination's idempotent handler (the TreadMarks dedup strategy
+//    for request channels), notice channels suppress duplicates by
+//    (channel, seq) and confirm delivery with explicit kAck messages, and
+//    exhausting the retry cap raises TransportError instead of hanging.
+//
 // Idempotence contract for handlers (docs/PROTOCOL.md "Transport layer"):
 // any handler reachable through call() or call_async() must tolerate
 // re-delivery of the same request — state convergent (second apply is a
@@ -45,6 +59,9 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -61,6 +78,26 @@ class VirtualClock;
 namespace omsp::net {
 
 class Router;
+
+// Hard-failure surface of the reliable-delivery layer: raised (never a hang,
+// never an abort) when an exchange exhausts its retry cap on a lossy link.
+// The Router's callers — protocol code, ultimately the application — see it
+// as a normal C++ exception with the failed link identified.
+class TransportError : public std::runtime_error {
+public:
+  TransportError(ContextId src, ContextId dst, MsgType type,
+                 std::uint32_t attempts)
+      : std::runtime_error(std::string("transport: ") + msg_name(type) +
+                           " from ctx " + std::to_string(src) + " to ctx " +
+                           std::to_string(dst) + " undelivered after " +
+                           std::to_string(attempts) + " attempts"),
+        src(src), dst(dst), type(type), attempts(attempts) {}
+
+  ContextId src;
+  ContextId dst;
+  MsgType type;
+  std::uint32_t attempts;
+};
 
 // A context's inbound request dispatcher. Implementations must be safe to
 // call from any thread; they lock their own state. Handlers must be
@@ -169,10 +206,18 @@ public:
   virtual bool supports_async() const { return false; }
 
   // Block until every in-flight asynchronous request (including injected
-  // duplicates) has been serviced. Called at quiescent points — barrier
-  // episodes, stats resets, shutdown — so counter snapshots and trace drains
-  // never race a worker mid-service. No-op for synchronous transports.
+  // duplicates and pending modeled retransmissions) has been serviced.
+  // Called at quiescent points — barrier episodes, stats resets, shutdown —
+  // so counter snapshots and trace drains never race a worker mid-service.
+  // No-op for synchronous transports.
   virtual void quiesce() {}
+
+  // Reset any transport-local statistics (PerturbStats on the fault-
+  // injection decorator). Part of the DsmSystem::reset_stats contract: the
+  // stats <-> trace audit window must cover transport-injected traffic too,
+  // so transport stats reset together with boards and trace buffers.
+  // Decorators forward to their inner transport.
+  virtual void reset_stats() {}
 
   virtual const char* name() const = 0;
 };
@@ -190,13 +235,28 @@ public:
 
 private:
   // Occupancy + queueing surcharge for one message of `wire_bytes` on the
-  // src->dst link; 0 with the default cost model.
-  double contention_us(const Envelope& env, std::size_t wire_bytes);
+  // src->dst link; 0 with the default cost model. When `reserve` is set the
+  // message extends the link's busy window (requests do; replies and
+  // notifications only pay against existing windows, mirroring the original
+  // in-flight accounting).
+  double contention_us(const Envelope& env, std::size_t wire_bytes,
+                       bool reserve);
 
   Router& router_;
-  // In-flight call() count per (src node, dst node) link, maintained only
-  // when the contention knob is enabled.
-  std::unique_ptr<std::atomic<std::uint32_t>[]> link_inflight_;
+  // Modeled-time occupancy window per (src node, dst node) link, maintained
+  // only when the contention knob is enabled. A send whose modeled time
+  // falls inside the link's current busy period queues behind it (and pays
+  // the residual window); a send whose modeled time precedes the period
+  // would have transmitted first and pays nothing — so the surcharge is a
+  // pure function of modeled timestamps, never of host scheduling (the
+  // original implementation counted host-concurrent calls with
+  // fetch_add/fetch_sub, a determinism hole).
+  struct LinkWindow {
+    double start = 0;
+    double end = 0;
+  };
+  std::mutex link_mutex_;
+  std::unique_ptr<LinkWindow[]> link_windows_;
   std::uint32_t nnodes_ = 0;
 };
 
@@ -255,6 +315,30 @@ public:
   PendingReply call_async(const Envelope& env) override;
   bool supports_async() const override { return true; }
   void quiesce() override;
+  void reset_stats() override { inner_->reset_stats(); }
+
+  // A duplicate/retransmission rider for call_async_with_dups: delivered on
+  // the same (src,dst) channel as its primary, `delay_us` after the
+  // primary's modeled arrival (0 for an immediate duplicate; the cumulative
+  // RTO for a modeled retransmission).
+  struct DupSpec {
+    Envelope env;
+    double delay_us = 0;
+  };
+
+  // Issue a request together with its injected duplicates/retransmissions
+  // in ONE queue critical section: the riders get consecutive issue seqs
+  // directly after the primary and arrivals >= the primary's, so no rider
+  // can ever be selected ahead of its primary on the per-(src,dst) channel.
+  // (Issuing a rider as a separate call_async — the old PerturbingTransport
+  // path — gives it an arrival recomputed from the caller's clock and an
+  // unrelated global seq, so nothing structurally pins it behind the
+  // primary.) Riders' requests are accounted here like any issue; their
+  // replies are serviced, accounted and dropped — the primary's reply
+  // stands. quiesce() drains riders too: workers service pending modeled
+  // retransmissions before a quiescent point completes.
+  PendingReply call_async_with_dups(const Envelope& env,
+                                    std::span<const DupSpec> dups);
 
   const char* name() const override { return "queued"; }
   Transport& inner() { return *inner_; }
@@ -305,7 +389,9 @@ private:
 
 // Deterministic perturbation parameters. `enabled` gates construction by
 // DsmSystem; OMSP_PERTURB_SEED=<n> enables from the environment with the
-// default rates below.
+// default rates below. OMSP_LOSS_PROB=<p> enables seeded loss; when it is
+// the only perturbation requested (no OMSP_PERTURB_SEED), the jitter/
+// duplicate/reorder rates are zeroed so ONLY loss is injected.
 struct PerturbOptions {
   bool enabled = false;
   std::uint64_t seed = 1;
@@ -314,6 +400,16 @@ struct PerturbOptions {
   double reorder_prob = 0.10;    // hold a one-way notice back...
   double reorder_max_us = 50.0;  // ...by up to this long (bounded overtaking)
 
+  // Reliable-delivery layer (active when loss_prob > 0 or drop_first):
+  double loss_prob = 0.0;        // P(drop) per one-way delivery, per-link RNG
+  bool drop_first = false;       // adversarial: drop every exchange's first
+                                 // copy in each direction (forces the full
+                                 // retransmit path on every message)
+  std::uint32_t max_retries = 8; // retransmissions per exchange before
+                                 // TransportError
+
+  bool lossy() const { return loss_prob > 0 || drop_first; }
+
   static PerturbOptions from_env();
 };
 
@@ -321,11 +417,21 @@ struct PerturbStats {
   std::uint64_t duplicates = 0; // injected re-deliveries
   std::uint64_t reorders = 0;   // held-back one-way notifications
   double jitter_us = 0;         // total injected latency (jitter + hold-back)
+  // Reliable-delivery layer:
+  std::uint64_t losses = 0;         // one-way deliveries dropped
+  std::uint64_t retransmits = 0;    // RTO expiries that reissued a copy
+  std::uint64_t acks = 0;           // explicit acks on notice channels
+  std::uint64_t dups_suppressed = 0; // notice copies deduped by (channel,seq)
+  double rto_wait_us = 0;           // total modeled RTO latency injected
 };
 
 class PerturbingTransport final : public Transport {
 public:
-  PerturbingTransport(std::unique_ptr<Transport> inner, PerturbOptions opts);
+  // `router` is the accounting funnel for the reliability layer (lost-copy
+  // wire accounting, retransmit/loss/ack counters + events) and supplies the
+  // RTO model and the channel count for the per-link RNG streams.
+  PerturbingTransport(std::unique_ptr<Transport> inner, Router& router,
+                      PerturbOptions opts);
 
   std::vector<std::uint8_t> call(const Envelope& env) override;
   double notify(const Envelope& env) override;
@@ -333,6 +439,7 @@ public:
   PendingReply call_async(const Envelope& env) override;
   bool supports_async() const override { return inner_->supports_async(); }
   void quiesce() override { inner_->quiesce(); }
+  void reset_stats() override;
   const char* name() const override { return "perturbing"; }
 
   PerturbStats stats() const;
@@ -347,11 +454,46 @@ private:
   };
   Draw draw(bool one_way);
 
+  // Per-(src,dst) reliable channel: an independent seeded loss stream
+  // (schedules are a pure function of (seed, link, per-link message index) —
+  // host-schedule free across links) plus the send-side sequence counter and
+  // the receive-side duplicate-suppression cursor.
+  struct Channel {
+    Rng rng;
+    std::uint32_t send_seq = 0;
+    std::uint32_t recv_applied = 0; // highest notice seq applied (cumulative)
+    explicit Channel(Rng r) : rng(r) {}
+  };
+
+  // Pre-drawn loss schedule for one exchange. attempts = 1 + retransmits
+  // actually issued; delivered == false means the retry cap was exhausted.
+  struct LossSchedule {
+    std::uint32_t req_lost = 0;   // leading copies dropped before delivery
+    std::uint32_t reply_lost = 0; // delivered copies whose reply dropped
+    bool delivered = false;       // a copy got through AND its reply/ack did
+    double penalty_us = 0;        // total modeled RTO latency
+    std::uint32_t attempts = 0;   // total copies sent
+  };
+
+  Channel& channel(ContextId src, ContextId dst); // mutex_ held by caller
+  // Draw one delivery outcome on ch's stream: true = dropped. `copy` is the
+  // 0-based copy index within the exchange (drop_first drops copy 0).
+  bool draw_loss(Channel& ch, std::uint32_t copy);
+  // Pre-draw the loss schedule for a round-trip (request/reply) or a
+  // notice+ack exchange on src->dst; consumes the channel's stream and
+  // stamps *seq with the exchange's channel sequence number.
+  LossSchedule draw_roundtrip(ContextId src, ContextId dst,
+                              std::uint32_t* seq);
+
   std::unique_ptr<Transport> inner_;
+  Router& router_;
   PerturbOptions opts_;
-  mutable std::mutex mutex_; // guards rng_ and stats_
+  mutable std::mutex mutex_; // guards rng_, stats_ and channels_
   Rng rng_;
   PerturbStats stats_;
+  // Base generator for per-link streams; never advanced, only split.
+  Rng loss_base_;
+  std::unordered_map<std::uint64_t, Channel> channels_;
 };
 
 } // namespace omsp::net

@@ -40,6 +40,13 @@ struct CostModel {
   double occupancy_byte_us = 0.0;
   double link_contention_us = 0.0;
 
+  // Reliable-delivery timer model (used only when the transport runs with
+  // loss enabled): base retransmission timeout and exponential backoff
+  // factor. TreadMarks-era UDP stacks used RTOs of a few round trips; the
+  // default is ~3 SP2 round trips. The retry cap lives in PerturbOptions.
+  double rto_us = 400.0;
+  double rto_backoff = 2.0;
+
   // --- VM / protocol service costs ----------------------------------------
   double mprotect_us = 15.0;      // one mprotect system call
   double fault_dispatch_us = 40.0; // SIGSEGV trap + kernel + handler entry
@@ -59,6 +66,14 @@ struct CostModel {
   // Sender-side occupancy surcharge for one message of `bytes` on the wire.
   double occupancy_us(std::size_t bytes) const {
     return send_occupancy_us + occupancy_byte_us * static_cast<double>(bytes);
+  }
+
+  // Modeled retransmission timeout before attempt k+2 (attempt indexes are
+  // 0-based; the first retransmission waits retransmit_timeout_us(0)).
+  double retransmit_timeout_us(std::uint32_t attempt) const {
+    double t = rto_us;
+    for (std::uint32_t i = 0; i < attempt; ++i) t *= rto_backoff;
+    return t;
   }
 
   // One-way cost of a message of `bytes` payload.
@@ -81,6 +96,7 @@ struct CostModel {
     m.mprotect_us = m.fault_dispatch_us = m.twin_us = 0;
     m.diff_create_base_us = m.diff_byte_us = m.diff_apply_base_us = 0;
     m.handler_service_us = m.barrier_service_us = m.lock_service_us = 0;
+    m.rto_us = 0;
     m.cpu_scale = 0;
     return m;
   }

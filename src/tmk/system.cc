@@ -63,7 +63,8 @@ DsmSystem::DsmSystem(Config config)
     if (overlap.enabled)
       t = std::make_unique<net::QueuedTransport>(std::move(t), *router_);
     if (perturb.enabled)
-      t = std::make_unique<net::PerturbingTransport>(std::move(t), perturb);
+      t = std::make_unique<net::PerturbingTransport>(std::move(t), *router_,
+                                                     perturb);
     router_->set_transport(std::move(t));
   }
 

@@ -100,6 +100,7 @@ public:
   void reset_stats() {
     router_->transport().quiesce(); // in-flight sends still count/trace
     router_->reset_stats();
+    router_->transport().reset_stats(); // perturbation/loss tallies too
     if (tracer_ != nullptr) tracer_->clear();
   }
   // The tracer owned by this system, or nullptr when tracing is off (or

@@ -57,6 +57,20 @@ enum class EventKind : std::uint16_t {
                      // entirely from prefetched diffs; arg0 = page,
                      // arg1 = buffered bytes used; dur = residual stall
                      // (0 = batch completed before first touch)
+  kMessageLost,      // counter-bearing: one-way delivery dropped by the lossy
+                     // transport; arg0 = wire bytes, arg1 = (type<<32)|dst,
+                     // ctx = the sender of the dropped copy
+                     // (kMsgsLost += 1). The lost copy's kMessage event was
+                     // emitted by account() — it went on the wire.
+  kRetransmit,       // counter-bearing: a retransmission issued after a
+                     // modeled RTO expiry; arg0 = attempt number (1-based),
+                     // arg1 = (type<<32)|dst; dur = the RTO charged
+                     // (kRetransmits += 1)
+  kAck,              // counter-bearing: explicit ack for a reliable notice
+                     // channel; arg0 = acked seq, arg1 = (type<<32)|dst of
+                     // the acked notice; ctx = the acking side
+                     // (kAcksSent += 1; the ack's own kMessage event is
+                     // emitted by account() like any wire message)
   kCount
 };
 
@@ -77,7 +91,8 @@ inline const char* event_name(EventKind k) {
                "invalidate",     "full_page_fetch",
                "barrier_wait",   "diff_fetch",   "gc_episode",
                "region_begin",   "region_end",   "diff_fetch_async",
-               "prefetch_batch", "prefetch_hit"};
+               "prefetch_batch", "prefetch_hit", "message_lost",
+               "retransmit",     "ack"};
   return names[static_cast<std::size_t>(k)];
 }
 

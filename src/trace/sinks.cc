@@ -115,6 +115,14 @@ void append_args(std::string& out, const Event& e) {
                   ",\"offnode\":%d}",
                   e.arg0, e.arg1, (e.flags & kFlagOffNode) ? 1 : 0);
     break;
+  case EventKind::kMessageLost:
+  case EventKind::kRetransmit:
+  case EventKind::kAck:
+    std::snprintf(buf, sizeof buf,
+                  "{\"arg0\":%" PRIu64 ",\"type\":\"%s\",\"dst\":%u}", e.arg0,
+                  net::msg_name(net::message_type_of_arg1(e.arg1)),
+                  net::message_dst_of_arg1(e.arg1));
+    break;
   default:
     std::snprintf(buf, sizeof buf, "{\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64
                   "}",
@@ -251,6 +259,15 @@ StatsSnapshot reconstruct_counters(const std::vector<Event>& events) {
       break;
     case EventKind::kPrefetchHit:
       s[Counter::kPrefetchHits] += 1;
+      break;
+    case EventKind::kMessageLost:
+      s[Counter::kMsgsLost] += 1;
+      break;
+    case EventKind::kRetransmit:
+      s[Counter::kRetransmits] += 1;
+      break;
+    case EventKind::kAck:
+      s[Counter::kAcksSent] += 1;
       break;
     case EventKind::kLockGrant:
     case EventKind::kBarrierWait:

@@ -30,7 +30,9 @@ inline constexpr char kTraceMagic[8] = {'O', 'M', 'S', 'P',
 // Version 3: kMessage carries the modeled one-way cost in dur_us (the
 // analyzer's per-type latency column); adds the overlapped-fetch kinds
 // kDiffFetchAsync/kPrefetchBatch/kPrefetchHit and the prefetch counters.
-inline constexpr std::uint32_t kTraceVersion = 3;
+// Version 4: adds the reliable-delivery kinds kMessageLost/kRetransmit/kAck
+// and the msgs_lost/retransmits/acks_sent counters (lossy transport).
+inline constexpr std::uint32_t kTraceVersion = 4;
 
 struct TraceFile {
   std::vector<Event> events;

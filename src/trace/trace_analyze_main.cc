@@ -50,11 +50,14 @@ int usage() {
 void cmd_summary(const TraceFile& tf) {
   struct MsgRow {
     std::uint64_t count = 0, bytes = 0, offnode = 0, perturbed = 0;
+    std::uint64_t lost = 0, rexmit = 0; // reliability layer, per type
     double lat_sum = 0, lat_max = 0; // modeled one-way cost (dur_us)
   };
   std::map<EventKind, std::uint64_t> by_kind;
   std::map<ContextId, std::uint64_t> by_ctx;
   std::map<net::MsgType, MsgRow> by_msg;
+  std::uint64_t losses = 0, rexmits = 0, acks = 0;
+  double rto_wait = 0; // total modeled time spent in retransmission timers
   double tmax = 0;
   for (const Event& e : tf.events) {
     ++by_kind[e.kind];
@@ -68,6 +71,15 @@ void cmd_summary(const TraceFile& tf) {
       if (e.flags & kFlagPerturbed) ++row.perturbed;
       row.lat_sum += e.dur_us;
       row.lat_max = std::max(row.lat_max, e.dur_us);
+    } else if (e.kind == EventKind::kMessageLost) {
+      ++by_msg[net::message_type_of_arg1(e.arg1)].lost;
+      ++losses;
+    } else if (e.kind == EventKind::kRetransmit) {
+      ++by_msg[net::message_type_of_arg1(e.arg1)].rexmit;
+      ++rexmits;
+      rto_wait += e.dur_us;
+    } else if (e.kind == EventKind::kAck) {
+      ++acks;
     }
   }
   std::printf("%zu events, %" PRIu64 " dropped, %.1f us of virtual time\n\n",
@@ -76,17 +88,22 @@ void cmd_summary(const TraceFile& tf) {
   for (const auto& [kind, n] : by_kind)
     std::printf("%-18s %12" PRIu64 "\n", event_name(kind), n);
   if (!by_msg.empty()) {
-    std::printf("\n%-18s %10s %12s %10s %10s %10s %10s\n", "message", "count",
-                "bytes", "offnode", "perturbed", "lat_mean", "lat_max");
+    std::printf("\n%-18s %10s %12s %10s %10s %8s %8s %10s %10s\n", "message",
+                "count", "bytes", "offnode", "perturbed", "lost", "rexmit",
+                "lat_mean", "lat_max");
     for (const auto& [type, row] : by_msg)
       std::printf("%-18s %10" PRIu64 " %12" PRIu64 " %10" PRIu64 " %10" PRIu64
-                  " %10.2f %10.2f\n",
+                  " %8" PRIu64 " %8" PRIu64 " %10.2f %10.2f\n",
                   net::msg_name(type), row.count, row.bytes, row.offnode,
-                  row.perturbed,
+                  row.perturbed, row.lost, row.rexmit,
                   row.count != 0 ? row.lat_sum / static_cast<double>(row.count)
                                  : 0.0,
                   row.lat_max);
   }
+  if (losses != 0 || rexmits != 0 || acks != 0)
+    std::printf("\nreliability: %" PRIu64 " lost, %" PRIu64
+                " retransmits (%.1f us in RTO timers), %" PRIu64 " acks\n",
+                losses, rexmits, rto_wait, acks);
   std::printf("\n%-18s %12s\n", "context", "events");
   for (const auto& [ctx, n] : by_ctx)
     std::printf("ctx%-15u %12" PRIu64 "\n", ctx, n);

@@ -19,7 +19,8 @@ class ScopedEnvClear {
 public:
   ScopedEnvClear() {
     for (const char* n : {"OMSP_OVERLAP", "OMSP_OVERLAP_FETCH",
-                          "OMSP_OVERLAP_PREFETCH", "OMSP_PERTURB_SEED"}) {
+                          "OMSP_OVERLAP_PREFETCH", "OMSP_PERTURB_SEED",
+                          "OMSP_LOSS_PROB"}) {
       const char* v = std::getenv(n);
       saved_.emplace_back(n, v != nullptr ? std::optional<std::string>(v)
                                           : std::nullopt);

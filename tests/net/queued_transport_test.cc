@@ -14,6 +14,7 @@
 #include "net/router.hpp"
 #include "net/transport.hpp"
 #include "sim/virtual_clock.hpp"
+#include "trace/tracer.hpp"
 
 namespace omsp::net {
 namespace {
@@ -178,7 +179,7 @@ TEST(QueuedTransport, PerturbedAsyncJitterAndDuplicates) {
   po.jitter_max_us = 25.0;
   po.duplicate_prob = 1.0;
   po.reorder_prob = 0;
-  PerturbingTransport pt(std::move(f.qt), po);
+  PerturbingTransport pt(std::move(f.qt), f.router, po);
 
   sim::VirtualClock clk(0.0);
   sim::VirtualClock::Binder bind(&clk);
@@ -190,6 +191,100 @@ TEST(QueuedTransport, PerturbedAsyncJitterAndDuplicates) {
   pt.quiesce();
   EXPECT_EQ(f.echo[1].calls.load(), 2); // the injected duplicate ran too
   EXPECT_EQ(pt.stats().duplicates, 1u);
+}
+
+// Regression (ordering): an injected duplicate models a RETRANSMISSION of
+// its primary, so it must be serviced behind the primary on the (src,dst)
+// channel. The old path issued the duplicate as a fresh call_async, whose
+// recomputed arrival and unrelated global issue seq left nothing pinning it
+// behind the primary; call_async_with_dups enqueues both in one critical
+// section with consecutive seqs and arrival >= primary.
+TEST(QueuedTransport, InjectedDuplicatesServiceBehindTheirPrimary) {
+  trace::Options topt;
+  topt.enabled = true;
+  trace::Tracer tracer(topt);
+  ASSERT_TRUE(tracer.install());
+
+  Fixture f;
+  PerturbOptions po;
+  po.enabled = true;
+  po.seed = 7;
+  po.jitter_max_us = 0;
+  po.duplicate_prob = 1.0;
+  po.reorder_prob = 0;
+  PerturbingTransport pt(std::move(f.qt), f.router, po);
+
+  sim::VirtualClock clk(0.0);
+  sim::VirtualClock::Binder bind(&clk);
+  ByteWriter req;
+  auto p = pt.call_async(request_to(0, 1, req));
+  (void)p.wait();
+  pt.quiesce();
+
+  // The reply-side kMessage events (ctx 1) are emitted at modeled service
+  // completion; the duplicate's carries kFlagPerturbed.
+  double primary_ts = -1, dup_ts = -1;
+  for (const auto& e : tracer.snapshot_events()) {
+    if (e.kind != trace::EventKind::kMessage || e.ctx != 1) continue;
+    if (e.flags & trace::kFlagPerturbed)
+      dup_ts = e.ts_us;
+    else
+      primary_ts = e.ts_us;
+  }
+  tracer.uninstall();
+  ASSERT_GE(primary_ts, 0.0);
+  ASSERT_GE(dup_ts, 0.0);
+  // Primary first, the duplicate queues behind it on the channel — never
+  // ahead, exactly one service time later.
+  EXPECT_GT(dup_ts, primary_ts);
+  EXPECT_DOUBLE_EQ(dup_ts, primary_ts + flat_model().handler_service_us);
+}
+
+// Loss composes with the async path: a pre-drawn schedule accounts lost
+// copies at issue, folds the modeled RTO into the reply's completion time
+// (the retransmit timer runs concurrently with the caller), and re-services
+// retransmissions as riders behind the primary; quiesce() drains them.
+TEST(QueuedTransport, LossyAsyncFoldsRtoIntoCompletionAndDrains) {
+  auto m = flat_model();
+  m.rto_us = 1000.0;
+  m.rto_backoff = 2.0;
+  Router router({0, 1, 2, 3}, m);
+  CountingEcho echo;
+  router.bind_handler(1, &echo);
+  auto qt = std::make_unique<QueuedTransport>(
+      std::make_unique<InlineTransport>(router), router);
+  PerturbOptions po;
+  po.enabled = true;
+  po.seed = 5;
+  po.jitter_max_us = 0;
+  po.duplicate_prob = 0;
+  po.reorder_prob = 0;
+  po.drop_first = true;
+  PerturbingTransport pt(std::move(qt), router, po);
+
+  sim::VirtualClock clk(0.0);
+  sim::VirtualClock::Binder bind(&clk);
+  ByteWriter req;
+  auto p = pt.call_async(request_to(0, 1, req));
+  double c = 0;
+  (void)p.wait_at(&c);
+  pt.quiesce();
+
+  // drop_first: first request copy lost (RTO 1000), retransmission
+  // delivered but its reply lost (RTO 2000, handler re-runs via a rider),
+  // third copy's round trip completes — the reply lands one RTT plus both
+  // timeouts after issue.
+  EXPECT_DOUBLE_EQ(c, kRtt + 3000.0);
+  EXPECT_EQ(echo.calls.load(), 2); // primary + retransmission rider
+  const auto s = router.snapshot();
+  EXPECT_EQ(s[Counter::kRetransmits], 2u);
+  EXPECT_EQ(s[Counter::kMsgsLost], 2u);
+  // Never hangs: exhausting the cap throws at issue time.
+  po.max_retries = 0;
+  PerturbingTransport dead(std::make_unique<InlineTransport>(router), router,
+                           po);
+  ByteWriter req2;
+  EXPECT_THROW((void)dead.call_async(request_to(0, 1, req2)), TransportError);
 }
 
 } // namespace

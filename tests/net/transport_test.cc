@@ -3,9 +3,13 @@
 // occupancy/contention knobs, and the seeded PerturbingTransport.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <barrier>
 #include <cstdlib>
+#include <thread>
 #include <tuple>
 
+#include "../common/env_guard.hpp"
 #include "net/router.hpp"
 #include "net/transport.hpp"
 #include "trace/sinks.hpp"
@@ -207,6 +211,55 @@ TEST(InlineTransport, LinkContentionChargesQueuedMessages) {
   EXPECT_NEAR(clock.now_us(), 7.0, 1e-9);
 }
 
+// Regression: the old implementation counted host-instantaneous in-flight
+// messages (fetch_add before the handler, fetch_sub after), so two sends that
+// merely overlapped in HOST time charged each other the queueing penalty even
+// when their MODELED times were a million microseconds apart — the charge
+// depended on which thread won the race. The windowed model keys the charge
+// on modeled time alone: sends in disjoint modeled busy periods never pay,
+// no matter how the host scheduler interleaves them.
+TEST(InlineTransport, LinkContentionIgnoresHostRaces) {
+  class AtomicEcho : public MessageHandler {
+  public:
+    void handle(ContextId, MsgType, ByteReader& request,
+                ByteWriter& reply) override {
+      const auto payload = request.get_span<std::uint8_t>();
+      reply.put_span<std::uint8_t>({payload.data(), payload.size()});
+      calls.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::atomic<int> calls{0};
+  };
+
+  sim::CostModel model = sim::CostModel::zero();
+  model.link_contention_us = 7.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    auto router = make_router(model);
+    AtomicEcho echo;
+    router.bind_handler(2, &echo);
+    std::barrier sync(2);
+    auto send_at = [&](ContextId src, double t) {
+      sim::VirtualClock clock(0.0);
+      sim::VirtualClock::Binder bind(&clock);
+      clock.set_now_us(t);
+      sync.arrive_and_wait(); // maximize host-time overlap on the shared link
+      ByteWriter req;
+      req.put_span<std::uint8_t>({});
+      (void)router.transport().call(
+          Envelope::request(src, 2, MsgType::kDiffRequest, req));
+      return clock.now_us();
+    };
+    double t0 = -1, t1 = -1;
+    std::thread a([&] { t0 = send_at(0, 0.0); });
+    std::thread b([&] { t1 = send_at(1, 1e6); });
+    a.join();
+    b.join();
+    // Disjoint modeled windows: neither request queues behind the other,
+    // on every run. (zero()'s bandwidth is finite, hence NEAR not EQ.)
+    EXPECT_NEAR(t0, 0.0, 1e-9);
+    EXPECT_NEAR(t1, 1e6, 1e-9);
+  }
+}
+
 // ------------------------------------------------------ perturbation --------
 
 PerturbOptions perturb_all() {
@@ -224,7 +277,7 @@ TEST(PerturbingTransport, DuplicatesEveryCallAndReAccounts) {
   EchoHandler echo;
   router.bind_handler(2, &echo);
   router.set_transport(std::make_unique<PerturbingTransport>(
-      std::make_unique<InlineTransport>(router), perturb_all()));
+      std::make_unique<InlineTransport>(router), router, perturb_all()));
 
   ByteWriter req;
   std::vector<std::uint8_t> payload{1, 2, 3};
@@ -250,7 +303,7 @@ TEST(PerturbingTransport, DuplicateDeliveriesCarryPerturbedFlag) {
 
   auto router = make_router();
   router.set_transport(std::make_unique<PerturbingTransport>(
-      std::make_unique<InlineTransport>(router), perturb_all()));
+      std::make_unique<InlineTransport>(router), router, perturb_all()));
   router.transport().notify(Envelope::notice(0, 2, MsgType::kMpiData, 10));
   const auto events = tracer.snapshot_events();
   tracer.uninstall();
@@ -275,7 +328,7 @@ TEST(PerturbingTransport, SameSeedSameSchedule) {
     o.duplicate_prob = 0.5;
     o.reorder_prob = 0.5;
     router.set_transport(std::make_unique<PerturbingTransport>(
-        std::make_unique<InlineTransport>(router), o));
+        std::make_unique<InlineTransport>(router), router, o));
     double cost = 0;
     for (int i = 0; i < 64; ++i)
       cost += router.transport().notify(
@@ -299,7 +352,7 @@ TEST(PerturbingTransport, ReorderHoldsBackNotificationsBounded) {
   o.reorder_prob = 1.0;
   o.reorder_max_us = 50.0;
   router.set_transport(std::make_unique<PerturbingTransport>(
-      std::make_unique<InlineTransport>(router), o));
+      std::make_unique<InlineTransport>(router), router, o));
   for (int i = 0; i < 32; ++i) {
     const double cost = router.transport().notify(
         Envelope::notice(0, 2, MsgType::kGcRecords, 8));
@@ -312,6 +365,7 @@ TEST(PerturbingTransport, ReorderHoldsBackNotificationsBounded) {
 }
 
 TEST(PerturbOptions, FromEnvParsesSeed) {
+  const test::ScopedEnvClear env_guard; // CI matrices export these vars
   ::setenv("OMSP_PERTURB_SEED", "17", 1);
   auto o = PerturbOptions::from_env();
   EXPECT_TRUE(o.enabled);
@@ -319,6 +373,287 @@ TEST(PerturbOptions, FromEnvParsesSeed) {
   ::unsetenv("OMSP_PERTURB_SEED");
   o = PerturbOptions::from_env();
   EXPECT_FALSE(o.enabled);
+}
+
+// Regression: reset_stats() used to leave the PerturbStats tallies (reorders,
+// jitter_us, ...) untouched — a mid-run reset kept counting from the old
+// totals, so post-reset audits against the (cleared) trace buffer failed.
+TEST(PerturbingTransport, ResetStatsClearsAllPerturbationTallies) {
+  auto router = make_router();
+  PerturbOptions o;
+  o.enabled = true;
+  o.seed = 11;
+  o.jitter_max_us = 5.0;
+  o.duplicate_prob = 1.0;
+  o.reorder_prob = 1.0;
+  o.reorder_max_us = 50.0;
+  router.set_transport(std::make_unique<PerturbingTransport>(
+      std::make_unique<InlineTransport>(router), router, o));
+  for (int i = 0; i < 8; ++i)
+    router.transport().notify(Envelope::notice(0, 2, MsgType::kGcRecords, 8));
+  auto& pt = dynamic_cast<PerturbingTransport&>(router.transport());
+  ASSERT_GT(pt.stats().duplicates, 0u);
+  ASSERT_GT(pt.stats().reorders, 0u);
+  ASSERT_GT(pt.stats().jitter_us, 0.0);
+
+  router.transport().reset_stats();
+  const PerturbStats s = pt.stats();
+  EXPECT_EQ(s.duplicates, 0u);
+  EXPECT_EQ(s.reorders, 0u);
+  EXPECT_EQ(s.jitter_us, 0.0);
+  EXPECT_EQ(s.losses, 0u);
+  EXPECT_EQ(s.retransmits, 0u);
+  EXPECT_EQ(s.acks, 0u);
+  EXPECT_EQ(s.dups_suppressed, 0u);
+  EXPECT_EQ(s.rto_wait_us, 0.0);
+
+  // Tallying resumes from zero, not from the pre-reset totals.
+  router.transport().notify(Envelope::notice(0, 2, MsgType::kGcRecords, 8));
+  EXPECT_EQ(pt.stats().duplicates, 1u);
+  EXPECT_EQ(pt.stats().reorders, 1u);
+}
+
+// --------------------------------------------------------------- loss -------
+
+// drop_first drops the first copy of every exchange in each direction, so a
+// single call deterministically walks the whole retransmit path: request
+// lost -> RTO -> retransmit delivered, reply lost -> RTO -> handler re-runs
+// (the idempotence contract under genuine loss), second reply stands.
+TEST(PerturbingTransport, DropFirstExercisesFullRetransmitPath) {
+  sim::CostModel model = sim::CostModel::zero();
+  model.rto_us = 100.0;
+  model.rto_backoff = 2.0;
+  auto router = make_router(model);
+  EchoHandler echo;
+  router.bind_handler(2, &echo);
+  PerturbOptions o;
+  o.enabled = true;
+  o.seed = 3;
+  o.jitter_max_us = 0;
+  o.duplicate_prob = 0;
+  o.reorder_prob = 0;
+  o.drop_first = true;
+  router.set_transport(std::make_unique<PerturbingTransport>(
+      std::make_unique<InlineTransport>(router), router, o));
+
+  sim::VirtualClock clock(0.0);
+  sim::VirtualClock::Binder bind(&clock);
+  ByteWriter req;
+  std::vector<std::uint8_t> payload{1, 2, 3};
+  req.put_span<std::uint8_t>({payload.data(), payload.size()});
+  auto reply = router.transport().call(
+      Envelope::request(0, 2, MsgType::kDiffRequest, req));
+
+  ByteReader r(reply);
+  EXPECT_EQ(r.get_span<std::uint8_t>(), payload);
+  // Attempt 1: request dropped. Attempt 2: delivered, reply dropped (the
+  // handler ran). Attempt 3: delivered both ways (the handler ran again).
+  EXPECT_EQ(echo.calls, 2);
+  auto& pt = dynamic_cast<PerturbingTransport&>(router.transport());
+  EXPECT_EQ(pt.stats().losses, 2u);
+  EXPECT_EQ(pt.stats().retransmits, 2u);
+  EXPECT_DOUBLE_EQ(pt.stats().rto_wait_us, 100.0 + 200.0);
+  const auto s = router.snapshot();
+  EXPECT_EQ(s[Counter::kMsgsLost], 2u);
+  EXPECT_EQ(s[Counter::kRetransmits], 2u);
+  // The caller sat out both modeled timeouts (100, then backed off to 200).
+  EXPECT_DOUBLE_EQ(clock.now_us(), 300.0);
+  // Every wire copy is accounted: lost request + 2 delivered requests from
+  // ctx 0; 2 replies (one lost) from ctx 2.
+  EXPECT_EQ(router.stats(0).get(Counter::kMsgsSent), 3u);
+  EXPECT_EQ(router.stats(2).get(Counter::kMsgsSent), 2u);
+}
+
+// Notices use explicit acks: a lost ack triggers a retransmission that the
+// receiver suppresses by (channel, seq) and re-acks. Counters and trace stay
+// an exact pair throughout.
+TEST(PerturbingTransport, DropFirstNoticeAckDanceAuditsExactly) {
+  trace::Options topt;
+  topt.enabled = true;
+  trace::Tracer tracer(topt);
+  ASSERT_TRUE(tracer.install());
+
+  auto router = make_router();
+  PerturbOptions o;
+  o.enabled = true;
+  o.seed = 3;
+  o.jitter_max_us = 0;
+  o.duplicate_prob = 0;
+  o.reorder_prob = 0;
+  o.drop_first = true;
+  router.set_transport(std::make_unique<PerturbingTransport>(
+      std::make_unique<InlineTransport>(router), router, o));
+  router.transport().notify(Envelope::notice(0, 2, MsgType::kMpiData, 10));
+
+  auto& pt = dynamic_cast<PerturbingTransport&>(router.transport());
+  // Notice lost, retransmitted notice delivered, its ack lost, the sender's
+  // third copy suppressed as a duplicate and re-acked.
+  EXPECT_EQ(pt.stats().losses, 2u);
+  EXPECT_EQ(pt.stats().retransmits, 2u);
+  EXPECT_EQ(pt.stats().acks, 2u);
+  EXPECT_EQ(pt.stats().dups_suppressed, 1u);
+  const auto live = router.snapshot();
+  EXPECT_EQ(live[Counter::kMsgsLost], 2u);
+  EXPECT_EQ(live[Counter::kRetransmits], 2u);
+  EXPECT_EQ(live[Counter::kAcksSent], 2u);
+  // 3 notice copies from ctx 0 + 2 acks from ctx 2, all on the wire.
+  EXPECT_EQ(live[Counter::kMsgsSent], 5u);
+
+  const StatsSnapshot rebuilt =
+      trace::reconstruct_counters(tracer.snapshot_events());
+  tracer.uninstall();
+  for (std::size_t c = 0; c < static_cast<std::size_t>(Counter::kCount); ++c)
+    EXPECT_EQ(rebuilt.v[c], live.v[c])
+        << "counter " << counter_name(static_cast<Counter>(c));
+}
+
+// Exhausting the retry cap surfaces a typed error at the call site — the
+// caller never hangs waiting for a reply that cannot arrive.
+TEST(PerturbingTransport, RetryCapExhaustionThrowsTransportError) {
+  auto router = make_router();
+  EchoHandler echo;
+  router.bind_handler(2, &echo);
+  PerturbOptions o;
+  o.enabled = true;
+  o.seed = 3;
+  o.jitter_max_us = 0;
+  o.duplicate_prob = 0;
+  o.reorder_prob = 0;
+  o.drop_first = true;
+  o.max_retries = 0; // one attempt, and drop_first always eats it
+  router.set_transport(std::make_unique<PerturbingTransport>(
+      std::make_unique<InlineTransport>(router), router, o));
+
+  ByteWriter req;
+  req.put_span<std::uint8_t>({});
+  try {
+    (void)router.transport().call(
+        Envelope::request(0, 2, MsgType::kDiffRequest, req));
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.src, 0u);
+    EXPECT_EQ(e.dst, 2u);
+    EXPECT_EQ(e.type, MsgType::kDiffRequest);
+    EXPECT_EQ(e.attempts, 1u);
+  }
+  EXPECT_EQ(echo.calls, 0); // the request never arrived
+  // The doomed attempt is still on the wire and in the loss tally.
+  EXPECT_EQ(router.snapshot()[Counter::kMsgsLost], 1u);
+  EXPECT_THROW(router.transport().notify(
+                   Envelope::notice(0, 2, MsgType::kMpiData, 10)),
+               TransportError);
+}
+
+// Seeded loss is per-link deterministic: the same seed yields the identical
+// loss schedule (and therefore identical counters and modeled penalties) on
+// every run, and different seeds diverge.
+TEST(PerturbingTransport, SameSeedSameLossSchedule) {
+  auto run = [](std::uint64_t seed) {
+    sim::CostModel model = sim::CostModel::zero();
+    model.rto_us = 50.0;
+    auto router = make_router(model);
+    EchoHandler echo;
+    router.bind_handler(2, &echo);
+    PerturbOptions o;
+    o.enabled = true;
+    o.seed = seed;
+    o.jitter_max_us = 0;
+    o.duplicate_prob = 0;
+    o.reorder_prob = 0;
+    o.loss_prob = 0.3;
+    router.set_transport(std::make_unique<PerturbingTransport>(
+        std::make_unique<InlineTransport>(router), router, o));
+    sim::VirtualClock clock(0.0);
+    sim::VirtualClock::Binder bind(&clock);
+    std::uint64_t failures = 0; // retry-cap exhaustions are deterministic too
+    for (int i = 0; i < 64; ++i) {
+      ByteWriter req;
+      req.put_span<std::uint8_t>({});
+      try {
+        (void)router.transport().call(
+            Envelope::request(0, 2, MsgType::kDiffRequest, req));
+      } catch (const TransportError&) {
+        ++failures;
+      }
+    }
+    auto& pt = dynamic_cast<PerturbingTransport&>(router.transport());
+    return std::tuple{router.snapshot()[Counter::kMsgsSent],
+                      router.snapshot()[Counter::kRetransmits],
+                      pt.stats().losses, failures, clock.now_us()};
+  };
+  const auto a = run(9);
+  EXPECT_EQ(a, run(9));
+  EXPECT_GT(std::get<2>(a), 0u); // p=0.3 over 64 round trips: losses occur
+  EXPECT_NE(std::get<4>(a), std::get<4>(run(10)));
+}
+
+// With loss disabled the transport must not even stamp seq/ack headers:
+// byte counts are bit-identical to a run without the reliability layer.
+TEST(PerturbingTransport, NoLossPathAddsNoWireBytes) {
+  auto base = make_router();
+  base.transport().notify(Envelope::notice(0, 2, MsgType::kGcRecords, 100));
+
+  auto router = make_router();
+  PerturbOptions o;
+  o.enabled = true;
+  o.seed = 4;
+  o.jitter_max_us = 0;
+  o.duplicate_prob = 0;
+  o.reorder_prob = 0;
+  router.set_transport(std::make_unique<PerturbingTransport>(
+      std::make_unique<InlineTransport>(router), router, o));
+  router.transport().notify(Envelope::notice(0, 2, MsgType::kGcRecords, 100));
+
+  EXPECT_EQ(router.stats(0).get(Counter::kBytesSent),
+            base.stats(0).get(Counter::kBytesSent));
+  EXPECT_EQ(router.snapshot()[Counter::kAcksSent], 0u);
+
+  // With loss on, delivered copies carry the 8-byte seq/ack extension.
+  auto lossy = make_router();
+  PerturbOptions lo = o;
+  lo.drop_first = true;
+  lossy.set_transport(std::make_unique<PerturbingTransport>(
+      std::make_unique<InlineTransport>(lossy), lossy, lo));
+  lossy.transport().notify(Envelope::notice(0, 2, MsgType::kGcRecords, 100));
+  // 3 notice copies + 2 acks, every one carrying the extension.
+  EXPECT_EQ(lossy.snapshot()[Counter::kBytesSent],
+            3 * (100 + kSeqAckBytes + kHeaderBytes) +
+                2 * (kSeqAckBytes + kHeaderBytes));
+}
+
+TEST(PerturbOptions, FromEnvParsesLossProb) {
+  const test::ScopedEnvClear env_guard; // CI matrices export these vars
+  ::setenv("OMSP_LOSS_PROB", "0.25", 1);
+  auto o = PerturbOptions::from_env();
+  EXPECT_TRUE(o.enabled);
+  EXPECT_TRUE(o.lossy());
+  EXPECT_DOUBLE_EQ(o.loss_prob, 0.25);
+  // Loss on its own keeps the other perturbations off, so lossy runs are
+  // comparable to clean ones modulo retransmissions.
+  EXPECT_EQ(o.jitter_max_us, 0.0);
+  EXPECT_EQ(o.duplicate_prob, 0.0);
+  EXPECT_EQ(o.reorder_prob, 0.0);
+  // The retry cap scales with the rate: q = 1-(1-p)^2 per-attempt failure,
+  // cap chosen so q^(cap+1) <= 1e-12 (here ceil(-12/log10(0.4375)) = 34) —
+  // a full-suite env sweep must never spuriously exhaust.
+  EXPECT_EQ(o.max_retries, 34u);
+
+  // Composed with a perturbation seed, the jitter/dup/reorder defaults stay.
+  ::setenv("OMSP_PERTURB_SEED", "17", 1);
+  o = PerturbOptions::from_env();
+  EXPECT_EQ(o.seed, 17u);
+  EXPECT_DOUBLE_EQ(o.loss_prob, 0.25);
+  EXPECT_GT(o.jitter_max_us, 0.0);
+  ::unsetenv("OMSP_PERTURB_SEED");
+
+  // p >= 1 can never deliver; clamp below certainty.
+  ::setenv("OMSP_LOSS_PROB", "1.0", 1);
+  o = PerturbOptions::from_env();
+  EXPECT_DOUBLE_EQ(o.loss_prob, 0.95);
+  EXPECT_EQ(o.max_retries, 64u); // pathological rate: cap at the ceiling
+  ::unsetenv("OMSP_LOSS_PROB");
+  o = PerturbOptions::from_env();
+  EXPECT_FALSE(o.lossy());
 }
 
 } // namespace
