@@ -1,14 +1,18 @@
 // Shared configuration for the evaluation-reproduction benches.
 //
-// Every bench models the paper's platform: an IBM SP2 with 4 nodes x 4
-// PowerPC-604 processors (sim::Topology::sp2()) and the SP2-era cost model.
-// Problem sizes are scaled down from the paper's (which needed hours on the
-// 1999 machine and would need comparable virtual time here); the per-app
-// compute/communication character is preserved, and EXPERIMENTS.md records
-// the paper-vs-measured comparison for every row.
+// By default every bench models the paper's platform: an IBM SP2 with 4
+// nodes x 4 PowerPC-604 processors (sim::Topology::sp2()) and the SP2-era
+// cost model. OMSP_TOPOLOGY=<spec> rebenches the same workloads on another
+// machine shape ("flat:64x4", "fat:2x8x2", "asym:8+4+4", ... — see
+// docs/TOPOLOGY.md); bench JSON carries the topology spec so per-shape
+// baselines never collide. Problem sizes are scaled down from the paper's
+// (which needed hours on the 1999 machine and would need comparable virtual
+// time here); the per-app compute/communication character is preserved, and
+// EXPERIMENTS.md records the paper-vs-measured comparison for every row.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -22,7 +26,9 @@
 
 namespace omsp::bench {
 
-inline sim::Topology paper_topology() { return sim::Topology::sp2(); }
+inline sim::Topology paper_topology() {
+  return sim::Topology::from_env_or(sim::Topology::sp2());
+}
 inline sim::CostModel paper_cost() {
   sim::CostModel m = sim::CostModel::sp2_default();
   // The bench problem sizes are scaled well below the paper's; raising the
@@ -82,6 +88,11 @@ inline apps::barnes::Params barnes_params() {
 struct BenchArgs {
   bool smoke = false;
   std::string json_path;
+  // speedup_curve only: `--scale` switches to the beyond-the-SP2 machine
+  // sweep; `--seed <n>` (nonzero) runs its MPI curves over seeded lossy
+  // links. Other benches accept and ignore both.
+  bool scale = false;
+  std::uint64_t seed = 0;
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
@@ -89,10 +100,17 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       a.smoke = true;
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      a.scale = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      a.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       a.json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--scale] [--seed <n>] "
+                   "[--json <path>]\n",
+                   argv[0]);
       std::exit(2);
     }
   }

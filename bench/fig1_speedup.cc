@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
 
   const BenchArgs args = parse_bench_args(argc, argv);
 
-  std::printf("Figure 1: speedups on 4 nodes x 4 processors (16-way)\n");
+  std::printf("Figure 1: speedups on topology %s (%u-way)\n",
+              paper_topology().spec().c_str(), paper_topology().nprocs());
   print_rule(86);
   std::printf("%-8s %12s %14s %14s %8s   %s\n", "Appl.", "OpenMP/orig",
               "OpenMP/thread", "MPI", "thr/MPI", "thread vs orig");

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Bench smoke: run the evaluation benches at CI problem sizes, merge their
-# machine-readable rows into BENCH_pr3.json, and fail if message counts
+# machine-readable rows into BENCH_pr6.json, and fail if message counts
 # drifted vs the committed baseline under the default (inline, synchronous)
 # transport.
 #
@@ -14,10 +14,21 @@
 # enough to catch a protocol regression that doubles traffic. TSP's SDSM
 # rows are exempt entirely: its branch-and-bound pruning makes message
 # counts vary by orders of magnitude run to run.
+#
+# Baselines are keyed by topology spec (bench/bench_smoke_baseline.json maps
+# "sp2", "flat:64x4", ... to their own table2 rows), so the exact no-loss
+# 4x4 baseline survives sweeps over larger machines: a run under
+# OMSP_TOPOLOGY=<spec> is compared only against ITS topology's baseline and
+# fails loudly if none is committed yet.
+#
+# The beyond-the-SP2 scalability sweep (speedup_curve --scale) runs under
+# seeds 1-3; its MPI curves are bit-deterministic per seed (per-link loss
+# schedules, named-source SOR), which the script proves by running seed 1
+# twice and comparing the MPI subtree exactly.
 set -euo pipefail
 
 BUILD_DIR=build
-OUT=BENCH_pr3.json
+OUT=BENCH_pr6.json
 UPDATE=0
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -33,7 +44,7 @@ cd "$(dirname "$0")/.."
 BASELINE=bench/bench_smoke_baseline.json
 
 command -v python3 >/dev/null || { echo "bench_smoke: python3 required" >&2; exit 1; }
-for b in table2_traffic fig1_speedup; do
+for b in table2_traffic fig1_speedup speedup_curve; do
   [ -x "$BUILD_DIR/bench/$b" ] || {
     echo "bench_smoke: $BUILD_DIR/bench/$b not built" >&2; exit 1; }
 done
@@ -43,6 +54,8 @@ trap 'rm -rf "$TMP"' EXIT
 
 # Default transport only: no OMSP_OVERLAP / loss in the environment — this
 # is the bit-for-bit seed configuration the drift check certifies.
+# OMSP_TOPOLOGY is deliberately NOT unset: a caller-selected machine shape is
+# a legitimate sweep, checked against its own baseline key.
 unset OMSP_OVERLAP OMSP_OVERLAP_FETCH OMSP_OVERLAP_PREFETCH OMSP_PERTURB_SEED \
       OMSP_LOSS_PROB
 
@@ -69,6 +82,15 @@ echo "== table2_traffic --smoke =="
 echo "== fig1_speedup --smoke =="
 "$BUILD_DIR/bench/fig1_speedup" --smoke --json "$TMP/fig1.json"
 
+echo "== speedup_curve --scale (seeds 1-3) =="
+for s in 1 2 3; do
+  "$BUILD_DIR/bench/speedup_curve" --smoke --scale --seed "$s" \
+      --json "$TMP/scale_seed$s.json" > "$TMP/scale_seed$s.txt"
+done
+# Determinism proof: the seed-1 MPI curves must be bit-identical on a rerun.
+"$BUILD_DIR/bench/speedup_curve" --smoke --scale --seed 1 \
+    --json "$TMP/scale_seed1_rerun.json" >/dev/null
+
 python3 - "$TMP" "$OUT" "$BASELINE" "$UPDATE" <<'EOF'
 import json, sys
 
@@ -76,12 +98,27 @@ tmp, out_path, baseline_path, update = sys.argv[1], sys.argv[2], sys.argv[3], sy
 
 table2 = json.load(open(f"{tmp}/table2.json"))
 fig1 = json.load(open(f"{tmp}/fig1.json"))
+topo = table2.get("topology", "sp2")
+
+scale = {}
+for s in (1, 2, 3):
+    scale[f"seed{s}"] = json.load(open(f"{tmp}/scale_seed{s}.json"))
+
+# Scalability determinism: the MPI subtree is a pure function of the seed.
+rerun = json.load(open(f"{tmp}/scale_seed1_rerun.json"))
+if scale["seed1"]["curves"]["mpi"] != rerun["curves"]["mpi"]:
+    print("speedup_curve --scale --seed 1: MPI curves differ between runs "
+          "(expected bit-identical)", file=sys.stderr)
+    sys.exit(1)
+print("scale sweep: seed-1 MPI curves bit-identical across runs")
 
 merged = {
     "generated_by": "scripts/bench_smoke.sh",
     "transport": "inline (default)",
+    "topology": topo,
     "table2_traffic": table2,
     "fig1_speedup": fig1,
+    "speedup_curve_scale": scale,
 }
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)
@@ -89,13 +126,24 @@ with open(out_path, "w") as f:
 print(f"wrote {out_path}")
 
 if update:
+    try:
+        baselines = json.load(open(baseline_path))
+    except FileNotFoundError:
+        baselines = {}
+    baselines[topo] = table2  # other topologies' baselines are preserved
     with open(baseline_path, "w") as f:
-        json.dump(table2, f, indent=2)
+        json.dump(baselines, f, indent=2)
         f.write("\n")
-    print(f"updated {baseline_path}")
+    print(f"updated {baseline_path} [{topo}]")
     sys.exit(0)
 
-baseline = json.load(open(baseline_path))
+baselines = json.load(open(baseline_path))
+if topo not in baselines:
+    print(f"no committed baseline for topology '{topo}' in {baseline_path}; "
+          f"run with --update-baseline under OMSP_TOPOLOGY={topo} first",
+          file=sys.stderr)
+    sys.exit(1)
+baseline = baselines[topo]
 SDSM_BAND = 0.25
 failures = []
 for app, versions in baseline["apps"].items():
@@ -115,10 +163,10 @@ for app, versions in baseline["apps"].items():
                     f"(baseline {base} +/-25%)")
 
 if failures:
-    print("message-count drift vs seed baseline:", file=sys.stderr)
+    print(f"message-count drift vs seed baseline [{topo}]:", file=sys.stderr)
     for f_ in failures:
         print(f"  {f_}", file=sys.stderr)
     sys.exit(1)
-print("message counts match the seed baseline "
+print(f"message counts match the seed baseline [{topo}] "
       "(MPI exact, SDSM within 25%, TSP SDSM exempt)")
 EOF

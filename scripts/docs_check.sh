@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Docs <-> code sync check, run as the CI docs-check job. Three passes:
+#
+#  1. Markdown link check: every relative link target in docs/, README.md,
+#     EXPERIMENTS.md, DESIGN.md and ROADMAP.md must exist on disk.
+#  2. Counter-name sync: every `counter_name`-style token referenced in
+#     docs/OBSERVABILITY.md must appear in the names array of
+#     src/common/stats.hpp (a renamed counter must update its docs).
+#  3. Topology-preset sync: every preset and spec prefix documented in
+#     docs/TOPOLOGY.md must exist in src/sim/topology.hpp, and vice versa —
+#     a new preset cannot ship undocumented.
+#
+# Pure stdlib python3; no dependencies beyond what the CI image carries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+command -v python3 >/dev/null || { echo "docs_check: python3 required" >&2; exit 1; }
+
+python3 - <<'EOF'
+import os, re, sys
+
+failures = []
+
+# ---- 1. relative markdown links exist --------------------------------------
+doc_files = ["README.md", "EXPERIMENTS.md", "DESIGN.md", "ROADMAP.md"]
+doc_files += sorted("docs/" + f for f in os.listdir("docs") if f.endswith(".md"))
+
+link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+for path in doc_files:
+    text = open(path, encoding="utf-8").read()
+    for target in link_re.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        rel = target.split("#")[0]
+        if not rel:
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), rel))
+        if not os.path.exists(resolved):
+            failures.append(f"{path}: broken link -> {target}")
+print(f"link check: {len(doc_files)} files scanned")
+
+# ---- 2. OBSERVABILITY.md counter names exist in stats.hpp ------------------
+stats = open("src/common/stats.hpp", encoding="utf-8").read()
+known = set(re.findall(r'"([a-z][a-z0-9_]*)"', stats))
+# OBSERVABILITY.md also names trace event kinds (src/trace/event.hpp), which
+# share the snake_case shape; those are code identifiers too, so accept them.
+known |= set(re.findall(r'"([a-z][a-z0-9_]*)"',
+                        open("src/trace/event.hpp", encoding="utf-8").read()))
+obs = open("docs/OBSERVABILITY.md", encoding="utf-8").read()
+# Counter tokens appear in backticks or table cells as snake_case words.
+referenced = set(re.findall(r"\b([a-z]+(?:_[a-z0-9]+)+)\b", obs))
+# Only check tokens that look like counters (match one of the known-name
+# suffixes), so prose snake_case like `trace_event` is not misflagged.
+counterish = {t for t in referenced if t in known or any(
+    t.endswith(s) for s in ("_sent", "_recv", "_offnode", "_created",
+                            "_applied", "_faults", "_acquires", "_fetches",
+                            "_fetched", "_hits", "_batches", "_lost",
+                            "_invalidations"))}
+for t in sorted(counterish - known):
+    failures.append(f"docs/OBSERVABILITY.md: counter '{t}' not in "
+                    "src/common/stats.hpp names[]")
+print(f"counter sync: {len(counterish & known)} documented counters verified")
+
+# ---- 3. TOPOLOGY.md presets match topology.hpp -----------------------------
+topo_hpp = open("src/sim/topology.hpp", encoding="utf-8").read()
+topo_md = open("docs/TOPOLOGY.md", encoding="utf-8").read()
+code_presets = set(re.findall(r"static Topology (\w+)\(", topo_hpp))
+doc_presets = set(re.findall(r"Topology::(\w+)\(", topo_md))
+for p in sorted(code_presets - doc_presets - {"parse", "from_env_or"}):
+    failures.append(f"src/sim/topology.hpp: preset '{p}' undocumented in "
+                    "docs/TOPOLOGY.md")
+# The docs also reference ordinary members as Topology::name(...); any
+# callable defined in the header is fair game.
+code_callables = set(re.findall(r"\b(\w+)\(", topo_hpp))
+for p in sorted(doc_presets - code_callables):
+    failures.append(f"docs/TOPOLOGY.md: 'Topology::{p}' does not exist in "
+                    "src/sim/topology.hpp")
+# Spec grammar prefixes must agree between parse() and the docs.
+code_prefixes = set(re.findall(r'substr\(0, \d+\) == "(\w+):"', topo_hpp))
+for p in sorted(code_prefixes):
+    if f"`{p}:" not in topo_md:
+        failures.append(f"docs/TOPOLOGY.md: spec prefix '{p}:' undocumented")
+print(f"preset sync: {len(code_presets - {'parse', 'from_env_or'})} presets, "
+      f"{len(code_prefixes)} spec prefixes verified")
+
+if failures:
+    print("docs_check failures:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("docs_check: all green")
+EOF

@@ -322,8 +322,9 @@ Result run_omp(const Params& p, const tmk::Config& cfg_in) {
 }
 
 Result run_mpi(const Params& p, const sim::Topology& topo,
-               const sim::CostModel& cost) {
-  mpi::MpiWorld world(topo, cost);
+               const sim::CostModel& cost,
+               const net::PerturbOptions& perturb) {
+  mpi::MpiWorld world(topo, cost, perturb);
   Result result;
   double sum = 0;
 

@@ -33,7 +33,8 @@ struct Params {
 Result run_seq(const Params& p, double cpu_scale);
 Result run_omp(const Params& p, const tmk::Config& cfg);
 Result run_mpi(const Params& p, const sim::Topology& topo,
-               const sim::CostModel& cost);
+               const sim::CostModel& cost,
+               const net::PerturbOptions& perturb = {});
 
 // 30-bit Morton (Z-order) code of a position quantized within [lo, hi)^3;
 // exposed for unit tests.

@@ -232,8 +232,9 @@ Result run_omp(const Params& p, const tmk::Config& cfg_in) {
 }
 
 Result run_mpi(const Params& p, const sim::Topology& topo,
-               const sim::CostModel& cost) {
-  mpi::MpiWorld world(topo, cost);
+               const sim::CostModel& cost,
+               const net::PerturbOptions& perturb) {
+  mpi::MpiWorld world(topo, cost, perturb);
   const Dims d{p.nx, p.ny, p.nz};
   const int np = world.size();
   OMSP_CHECK_MSG(d.nz % np == 0 && d.nx % np == 0,

@@ -30,7 +30,8 @@ struct Params {
 Result run_seq(const Params& p, double cpu_scale);
 Result run_omp(const Params& p, const tmk::Config& cfg);
 Result run_mpi(const Params& p, const sim::Topology& topo,
-               const sim::CostModel& cost);
+               const sim::CostModel& cost,
+               const net::PerturbOptions& perturb = {});
 
 // In-place radix-2 FFT of length n (power of two); inverse when inv is true
 // (scaled by 1/n). Exposed for unit tests.

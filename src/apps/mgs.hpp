@@ -20,7 +20,8 @@ struct Params {
 Result run_seq(const Params& p, double cpu_scale);
 Result run_omp(const Params& p, const tmk::Config& cfg);
 Result run_mpi(const Params& p, const sim::Topology& topo,
-               const sim::CostModel& cost);
+               const sim::CostModel& cost,
+               const net::PerturbOptions& perturb = {});
 
 // Orthogonality defect of the produced basis (max |v_i . v_j|, i != j) plus
 // norm defect; used by tests. The checksum in Result is the sum of all

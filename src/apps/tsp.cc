@@ -282,8 +282,9 @@ Result run_omp(const Params& p, const tmk::Config& cfg_in) {
 }
 
 Result run_mpi(const Params& p, const sim::Topology& topo,
-               const sim::CostModel& cost) {
-  mpi::MpiWorld world(topo, cost);
+               const sim::CostModel& cost,
+               const net::PerturbOptions& perturb) {
+  mpi::MpiWorld world(topo, cost, perturb);
   const Distances dist = make_distances(p);
   Result result;
   double checksum = 0;

@@ -27,7 +27,8 @@ struct Params {
 Result run_seq(const Params& p, double cpu_scale);
 Result run_omp(const Params& p, const tmk::Config& cfg);
 Result run_mpi(const Params& p, const sim::Topology& topo,
-               const sim::CostModel& cost);
+               const sim::CostModel& cost,
+               const net::PerturbOptions& perturb = {});
 
 // The deterministic optimum for the given parameters, computed by plain
 // exhaustive DFS; tests compare all versions against it.

@@ -4,11 +4,21 @@
 
 namespace omsp::mpi {
 
-MpiWorld::MpiWorld(sim::Topology topo, sim::CostModel cost) : topo_(topo) {
-  std::vector<NodeId> rank_node(topo.nprocs());
-  for (Rank r = 0; r < topo.nprocs(); ++r) rank_node[r] = topo.node_of_rank(r);
-  router_ = std::make_unique<net::Router>(std::move(rank_node), cost);
-  mailboxes_.resize(topo.nprocs());
+MpiWorld::MpiWorld(sim::Topology topo, sim::CostModel cost)
+    : MpiWorld(std::move(topo), cost, net::PerturbOptions{}) {}
+
+MpiWorld::MpiWorld(sim::Topology topo, sim::CostModel cost,
+                   const net::PerturbOptions& perturb)
+    : topo_(std::move(topo)) {
+  std::vector<NodeId> rank_node(topo_.nprocs());
+  for (Rank r = 0; r < topo_.nprocs(); ++r)
+    rank_node[r] = topo_.node_of_rank(r);
+  router_ = std::make_unique<net::Router>(std::move(rank_node), cost, topo_);
+  if (perturb.enabled) {
+    router_->set_transport(std::make_unique<net::PerturbingTransport>(
+        std::make_unique<net::InlineTransport>(*router_), *router_, perturb));
+  }
+  mailboxes_.resize(topo_.nprocs());
   for (auto& m : mailboxes_) m = std::make_unique<Mailbox>();
 }
 

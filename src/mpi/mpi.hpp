@@ -4,8 +4,12 @@
 // makes intra-node messages cheap; Table 2 therefore reports both total and
 // off-node traffic for MPI. This library reproduces that cost structure on
 // the simulated cluster: every rank is a thread, sends are eager (buffered),
-// and each message is accounted and charged through the same Router/CostModel
-// as the DSM, classified intra- vs inter-node by the rank->node map.
+// and each message is accounted and charged through the same
+// Router/Topology/CostModel stack as the DSM. A message's cost is the sum of
+// the topology stages on the src->dst path (intra-node traffic crosses only
+// the shared-memory stage; switch traffic pays each network tier it
+// traverses), and Table 2's off-node split counts exactly the messages whose
+// path rises above the node stage.
 //
 // Collectives use the classic MPICH algorithms of the era: dissemination
 // barrier, binomial-tree bcast/reduce, reduce+bcast allreduce, pairwise
@@ -40,6 +44,13 @@ class Comm;
 class MpiWorld {
 public:
   MpiWorld(sim::Topology topo, sim::CostModel cost);
+  // With fault injection: when `perturb.enabled`, wraps the transport in a
+  // PerturbingTransport (seeded jitter/duplication/loss + the reliable-
+  // delivery layer). Loss-only options (jitter/dup/reorder zeroed) keep
+  // makespans a pure function of the seed for named-source programs: loss
+  // schedules are drawn from per-link split streams, never host order.
+  MpiWorld(sim::Topology topo, sim::CostModel cost,
+           const net::PerturbOptions& perturb);
   ~MpiWorld();
 
   MpiWorld(const MpiWorld&) = delete;

@@ -11,11 +11,14 @@
 // executing thread differs.
 //
 // The Router is the part that stays fixed across transports: the
-// context->node map that classifies traffic as intra-node (shared-memory
-// transport) or inter-node (SP2 switch), the per-context StatsBoards, the
-// handler table, and the accounting rule (account()) every transport funnels
-// deliveries through so counters and trace events stay paired no matter how
-// a message reached its destination.
+// context->node map plus the hierarchical Topology descriptor that together
+// place every (src, dst) pair on a path of stages (intra-node shared memory,
+// edge switch, spine, ...), the per-context StatsBoards, the handler table,
+// and the accounting rule (account()) every transport funnels deliveries
+// through so counters and trace events stay paired no matter how a message
+// reached its destination. A message's modeled cost is the sum of the stage
+// costs along its path (sim::Topology::message_us); traffic is "off-node"
+// whenever that path rises above stage 0.
 #pragma once
 
 #include <algorithm>
@@ -30,6 +33,7 @@
 #include "net/message.hpp"
 #include "net/transport.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/topology.hpp"
 #include "sim/virtual_clock.hpp"
 #include "trace/tracer.hpp"
 
@@ -37,15 +41,24 @@ namespace omsp::net {
 
 class Router {
 public:
-  // `context_node[c]` is the physical node hosting context c.
-  Router(std::vector<NodeId> context_node, sim::CostModel model)
+  // `context_node[c]` is the physical node hosting context c; `topo` is the
+  // stage hierarchy those nodes hang off (topo.nodes() must cover every node
+  // id in the map).
+  Router(std::vector<NodeId> context_node, sim::CostModel model,
+         sim::Topology topo)
       : context_node_(std::move(context_node)), model_(model),
+        topo_(std::move(topo)), stats_(context_node_.size()) {
+    init();
+    OMSP_CHECK(topo_.nodes() >= num_nodes_);
+  }
+
+  // Node map only: nodes sit behind a single flat switch, which prices every
+  // off-node pair identically — exactly the legacy binary intra/inter split.
+  Router(std::vector<NodeId> context_node, sim::CostModel model)
+      : context_node_(std::move(context_node)), model_(model), topo_(1, 1),
         stats_(context_node_.size()) {
-    handlers_.resize(context_node_.size(), nullptr);
-    for (auto& s : stats_) s = std::make_unique<StatsBoard>();
-    for (const NodeId n : context_node_)
-      num_nodes_ = std::max(num_nodes_, static_cast<std::uint32_t>(n) + 1);
-    transport_ = std::make_unique<InlineTransport>(*this);
+    init();
+    topo_ = sim::Topology(std::max(num_nodes_, 1u), 1);
   }
 
   std::size_t num_contexts() const { return context_node_.size(); }
@@ -74,6 +87,15 @@ public:
   }
 
   const sim::CostModel& model() const { return model_; }
+  const sim::Topology& topology() const { return topo_; }
+
+  // Shared-segment key for the (src, dst) context pair: the sender's uplink
+  // into the topmost stage the message crosses. Transports key their busy
+  // windows on this so traffic through the same NIC / edge-switch trunk
+  // queues together even when the destinations differ.
+  std::uint64_t link_segment(ContextId src, ContextId dst) const {
+    return topo_.link_segment(node_of(src), node_of(dst));
+  }
 
   // The delivery layer. Protocol code sends through this — request/reply via
   // transport().call(env), one-way notifications via transport().notify(env).
@@ -111,7 +133,8 @@ public:
       board.add(Counter::kMsgsOffNode);
       board.add(Counter::kBytesOffNode, bytes);
     }
-    const double cost = model_.message_us(bytes, same);
+    const double cost = topo_.message_us(model_, bytes, node_of(env.src),
+                                         node_of(env.dst));
     // The modeled one-way cost rides in dur_us so `omsp-trace summary` can
     // report per-type latency without re-deriving the cost model.
     OMSP_TRACE_EVENT(kMessage, env.src, bytes,
@@ -158,8 +181,17 @@ public:
   }
 
 private:
+  void init() {
+    handlers_.resize(context_node_.size(), nullptr);
+    for (auto& s : stats_) s = std::make_unique<StatsBoard>();
+    for (const NodeId n : context_node_)
+      num_nodes_ = std::max(num_nodes_, static_cast<std::uint32_t>(n) + 1);
+    transport_ = std::make_unique<InlineTransport>(*this);
+  }
+
   std::vector<NodeId> context_node_;
   sim::CostModel model_;
+  sim::Topology topo_;
   std::vector<std::unique_ptr<StatsBoard>> stats_;
   std::vector<MessageHandler*> handlers_;
   std::uint32_t num_nodes_ = 0;

@@ -55,22 +55,14 @@ PendingReply Transport::call_async(const Envelope& env) {
 // ---------------------------------------------------------------------------
 // InlineTransport
 
-InlineTransport::InlineTransport(Router& router)
-    : router_(router), nnodes_(router.num_nodes()) {
-  if (nnodes_ > 0) {
-    link_windows_ = std::make_unique<LinkWindow[]>(
-        static_cast<std::size_t>(nnodes_) * nnodes_);
-  }
-}
+InlineTransport::InlineTransport(Router& router) : router_(router) {}
 
 double InlineTransport::contention_us(const Envelope& env,
                                       std::size_t wire_bytes, bool reserve) {
   const auto& m = router_.model();
   double extra = m.occupancy_us(wire_bytes);
-  if (m.link_contention_us > 0 && link_windows_ != nullptr) {
-    const std::size_t link =
-        static_cast<std::size_t>(router_.node_of(env.src)) * nnodes_ +
-        router_.node_of(env.dst);
+  if (m.link_contention_us > 0) {
+    const std::uint64_t link = router_.link_segment(env.src, env.dst);
     auto* clock = sim::VirtualClock::current();
     const double now = clock != nullptr ? clock->now_us() : 0;
     std::lock_guard<std::mutex> lk(link_mutex_);

@@ -243,21 +243,24 @@ private:
                        bool reserve);
 
   Router& router_;
-  // Modeled-time occupancy window per (src node, dst node) link, maintained
-  // only when the contention knob is enabled. A send whose modeled time
-  // falls inside the link's current busy period queues behind it (and pays
-  // the residual window); a send whose modeled time precedes the period
-  // would have transmitted first and pays nothing — so the surcharge is a
-  // pure function of modeled timestamps, never of host scheduling (the
-  // original implementation counted host-concurrent calls with
-  // fetch_add/fetch_sub, a determinism hole).
+  // Modeled-time occupancy window per shared link segment, maintained only
+  // when the contention knob is enabled. Windows are keyed by
+  // Router::link_segment — the sender's uplink into the topmost topology
+  // stage the message crosses (its node's NIC for edge traffic, its edge
+  // switch's trunk for spine traffic) — so two sends from one node to
+  // DIFFERENT destinations still queue on the same outbound segment. A send
+  // whose modeled time falls inside the segment's current busy period queues
+  // behind it (and pays the residual window); a send whose modeled time
+  // precedes the period would have transmitted first and pays nothing — so
+  // the surcharge is a pure function of modeled timestamps, never of host
+  // scheduling (the original implementation counted host-concurrent calls
+  // with fetch_add/fetch_sub, a determinism hole).
   struct LinkWindow {
     double start = 0;
     double end = 0;
   };
   std::mutex link_mutex_;
-  std::unique_ptr<LinkWindow[]> link_windows_;
-  std::uint32_t nnodes_ = 0;
+  std::unordered_map<std::uint64_t, LinkWindow> link_windows_;
 };
 
 // Opt-in knobs for the overlapped communication paths (tmk::Config.overlap).

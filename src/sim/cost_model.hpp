@@ -5,9 +5,14 @@
 // Instead every runtime operation charges simulated microseconds to the
 // calling thread's VirtualClock:
 //
-//   * messages:   one-way cost = latency + bytes / bandwidth, with separate
-//                 (latency, bandwidth) pairs for intra-node shared-memory
-//                 transport and the inter-node SP2 switch;
+//   * messages:   one-way cost = sum over the stages of the src->dst path
+//                 through the machine hierarchy (sim::Topology, see
+//                 docs/TOPOLOGY.md) of latency + bytes / bandwidth. This
+//                 struct owns the two inheritable (latency, bandwidth)
+//                 pairs — intra-node shared memory and the inter-node SP2
+//                 switch — that topology stages resolve by default;
+//                 message_us(bytes, same_node) below is the two-stage
+//                 shorthand, bit-for-bit what Topology::sp2() computes;
 //   * VM ops:     fixed costs for mprotect, SIGSEGV dispatch, twin copies and
 //                 per-byte diff creation/application;
 //   * compute:    measured host CPU seconds (CLOCK_THREAD_CPUTIME_ID) scaled
@@ -34,8 +39,9 @@ struct CostModel {
 
   // Transport-layer knobs, charged per message by the Transport (not folded
   // into message_us): sender-side occupancy (fixed + per wire byte) and a
-  // queueing penalty per message already in flight on the same src->dst node
-  // link. Zero by default so the base model is unchanged.
+  // queueing penalty per message already in flight on the same link segment
+  // (the sender's uplink into the top stage crossed — Router::link_segment).
+  // Zero by default so the base model is unchanged.
   double send_occupancy_us = 0.0;
   double occupancy_byte_us = 0.0;
   double link_contention_us = 0.0;

@@ -88,6 +88,13 @@ struct Config {
   std::uint32_t num_contexts() const {
     return mode == Mode::kThread ? topology.nodes() : topology.nprocs();
   }
+  // Worker threads hosted by context c: that node's processor count in
+  // thread mode (asymmetric mixes give different contexts different widths),
+  // always 1 in process mode.
+  std::uint32_t threads_in_context(ContextId c) const {
+    return mode == Mode::kThread ? topology.procs_on_node(c) : 1;
+  }
+  // Uniform-topology shorthand; asymmetric configs must ask per context.
   std::uint32_t threads_per_context() const {
     return mode == Mode::kThread ? topology.procs_per_node() : 1;
   }

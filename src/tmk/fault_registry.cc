@@ -27,7 +27,11 @@ struct Region {
 // and update entries; the handler scans entries whose `target` is non-null.
 // An entry is published by writing `target` last and retired by clearing
 // `target` first.
-constexpr std::size_t kMaxRegions = 64;
+// Sized for the topology sweeps: process mode registers one region per
+// context, and OMSP_TOPOLOGY can ask for hundreds of nodes (flat:256x2 in
+// process mode = 512 contexts). The handler's scan stays cheap — the table
+// is ~24 bytes per entry and live entries cluster at the front.
+constexpr std::size_t kMaxRegions = 1024;
 Region g_regions[kMaxRegions]; // zero-initialized
 std::mutex g_mutex;
 struct sigaction g_old_action;

@@ -42,7 +42,7 @@ DsmSystem::DsmSystem(Config config)
   for (ContextId c = 0; c < nc; ++c)
     context_node[c] = config_.node_of_context(c);
   router_ = std::make_unique<net::Router>(std::move(context_node),
-                                          config_.cost);
+                                          config_.cost, config_.topology);
 
   // Optional layers below the protocol, stacked bottom-up: the queued
   // transport (overlapped delivery) wraps the inline one, and fault
@@ -139,7 +139,7 @@ void DsmSystem::rank_epilogue(Rank rank) {
   const ContextId cid = config_.context_of_rank(rank);
   std::lock_guard<std::mutex> lk(join_mutex_);
   join_times_[rank] = clocks_[rank]->now_us();
-  if (++ctx_done_[cid] == config_.threads_per_context()) {
+  if (++ctx_done_[cid] == config_.threads_in_context(cid)) {
     contexts_[cid]->close_interval(); // slave-side release of Tmk_join
     if (++contexts_done_ == config_.num_contexts()) {
       join_ready_ = true;
@@ -233,7 +233,7 @@ void DsmSystem::barrier() {
   const std::uint64_t mygen = bar_generation_;
 
   double arrival_cost = 0;
-  if (++bar_ctx_arrived_[cid] == config_.threads_per_context()) {
+  if (++bar_ctx_arrived_[cid] == config_.threads_in_context(cid)) {
     // Context-level release: the last thread of the node closes the interval
     // and sends the arrival message to the manager (context 0). The arrival
     // carries every record the manager lacks — not only this context's own:

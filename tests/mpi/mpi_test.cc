@@ -320,5 +320,127 @@ TEST(MpiCollectiveExtra, AlltoallvVariableBlocks) {
   });
 }
 
+TEST(MpiTopology, SpineHopsCostMoreThanFlat) {
+  // Same program, same traffic, two machine shapes with 4 single-proc
+  // nodes: a flat crossbar and a 2-level fat tree (2 nodes per edge
+  // switch). Rank 0 -> 3 crosses the spine only in the fat tree, so its
+  // makespan must be strictly larger; counters are shape-independent.
+  // cpu_scale = 0: with host CPU folded into the clock the topology delta
+  // (a few ms) would drown in scheduler noise.
+  sim::CostModel m = sim::CostModel::sp2_default();
+  m.cpu_scale = 0;
+  auto run_shape = [&m](const sim::Topology& topo) {
+    MpiWorld w(topo, m);
+    w.run([](Comm& c) {
+      std::vector<char> big(100000);
+      if (c.rank() == 0) c.send(3, 1, big.data(), big.size());
+      if (c.rank() == 3) c.recv(0, 1, big.data(), big.size());
+    });
+    return std::make_pair(w.makespan_us(), w.stats()[Counter::kMsgsOffNode]);
+  };
+  const auto [flat_us, flat_msgs] = run_shape(sim::Topology::flat_switch(4, 1));
+  const auto [fat_us, fat_msgs] = run_shape(sim::Topology::fat_tree(2, 2, 1));
+  EXPECT_EQ(flat_msgs, 1u);
+  EXPECT_EQ(fat_msgs, 1u);
+  EXPECT_GT(fat_us, flat_us);
+  // The surcharge is exactly one extra edge hop plus the spine stage.
+  const std::size_t wire = 100000 + net::kHeaderBytes;
+  EXPECT_DOUBLE_EQ(
+      fat_us - flat_us,
+      sim::Topology::fat_tree(2, 2, 1).message_us(m, wire, 0, 3) -
+          m.message_us(wire, false));
+}
+
+TEST(MpiTopology, EdgeLocalTrafficMatchesFlatCost) {
+  // Within one edge group the fat tree prices messages exactly like the
+  // flat switch (the edge tier inherits the net pair). cpu_scale = 0 so the
+  // makespans are exact model outputs, comparable with EXPECT_DOUBLE_EQ.
+  sim::CostModel m = sim::CostModel::sp2_default();
+  m.cpu_scale = 0;
+  auto run_shape = [&m](const sim::Topology& topo) {
+    MpiWorld w(topo, m);
+    w.run([](Comm& c) {
+      std::vector<char> big(50000);
+      if (c.rank() == 0) c.send(1, 1, big.data(), big.size());
+      if (c.rank() == 1) c.recv(0, 1, big.data(), big.size());
+    });
+    return w.makespan_us();
+  };
+  EXPECT_DOUBLE_EQ(run_shape(sim::Topology::flat_switch(4, 1)),
+                   run_shape(sim::Topology::fat_tree(2, 2, 1)));
+}
+
+TEST(MpiTopology, AsymmetricNodesClassifyTraffic) {
+  // asym:2+1 -> ranks {0,1} on node 0, rank 2 alone on node 1.
+  MpiWorld w(sim::Topology::asymmetric({2, 1}), sim::CostModel::zero());
+  w.run([](Comm& c) {
+    char b = 0;
+    if (c.rank() == 0) {
+      c.send(1, 1, &b, 1);
+      c.send(2, 1, &b, 1);
+    }
+    if (c.rank() == 1) c.recv(0, 1, &b, 1);
+    if (c.rank() == 2) c.recv(0, 1, &b, 1);
+  });
+  auto s = w.stats();
+  EXPECT_EQ(s[Counter::kMsgsSent], 2u);
+  EXPECT_EQ(s[Counter::kMsgsOffNode], 1u);
+}
+
+TEST(MpiLoss, SeededLossDeterministicMakespan) {
+  // Loss-only fault injection over named-source traffic: per-link split RNG
+  // streams make the retransmit schedule — and therefore the makespan — a
+  // pure function of the seed. Two worlds, same seed: bit-identical.
+  auto run_seeded = [](std::uint64_t seed) {
+    net::PerturbOptions po;
+    po.enabled = true;
+    po.seed = seed;
+    po.jitter_max_us = 0;
+    po.duplicate_prob = 0;
+    po.reorder_prob = 0;
+    po.loss_prob = 0.25;
+    sim::CostModel m = sim::CostModel::sp2_default();
+    m.cpu_scale = 0; // keep the makespan a pure function of the seed
+    MpiWorld w(sim::Topology::flat_switch(4, 2), m, po);
+    w.run([](Comm& c) {
+      // Ring of named sendrecvs: every link carries traffic.
+      const int p = c.size();
+      std::uint32_t tok = static_cast<std::uint32_t>(c.rank());
+      for (int i = 0; i < 4; ++i)
+        c.sendrecv((c.rank() + 1) % p, 5, &tok, sizeof(tok),
+                   (c.rank() + p - 1) % p, 5, &tok, sizeof(tok));
+    });
+    return std::make_pair(w.makespan_us(), w.stats()[Counter::kRetransmits]);
+  };
+  const auto [t1, r1] = run_seeded(7);
+  const auto [t2, r2] = run_seeded(7);
+  EXPECT_DOUBLE_EQ(t1, t2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_GT(r1, 0u); // p=0.25 over 64+ deliveries: losses occur
+}
+
+TEST(MpiLoss, DropFirstForcesRetransmitOnEveryExchange) {
+  net::PerturbOptions po;
+  po.enabled = true;
+  po.jitter_max_us = 0;
+  po.duplicate_prob = 0;
+  po.reorder_prob = 0;
+  po.drop_first = true;
+  MpiWorld w(sim::Topology(2, 1), sim::CostModel::sp2_default(), po);
+  w.run([](Comm& c) {
+    char b = 0;
+    if (c.rank() == 0) c.send(1, 1, &b, 1);
+    if (c.rank() == 1) c.recv(0, 1, &b, 1);
+  });
+  // drop_first drops the first copy in EACH direction: the notice itself
+  // (retransmitted after one RTO) and then the first ack (the sender times
+  // out again; the receiver suppresses the duplicate notice and re-acks).
+  auto s = w.stats();
+  EXPECT_EQ(s[Counter::kMsgsLost], 2u);
+  EXPECT_EQ(s[Counter::kRetransmits], 2u);
+  EXPECT_EQ(s[Counter::kAcksSent], 2u);
+  EXPECT_GE(w.makespan_us(), sim::CostModel::sp2_default().rto_us);
+}
+
 } // namespace
 } // namespace omsp::mpi

@@ -260,6 +260,55 @@ TEST(InlineTransport, LinkContentionIgnoresHostRaces) {
   }
 }
 
+// Segment sharing: the stage-path topology keys the off-node busy window by
+// the SENDER's uplink (Router::link_segment), not the (src, dst) pair — one
+// NIC, one wire out of the node, no matter where the packets are headed.
+class CrossDestNestedHandler : public MessageHandler {
+public:
+  explicit CrossDestNestedHandler(Router& router) : router_(router) {}
+  void handle(ContextId src, MsgType type, ByteReader& request,
+              ByteWriter& reply) override {
+    (void)src;
+    (void)type;
+    (void)request;
+    (void)reply;
+    if (depth_++ == 0) {
+      // A second send from node 0 while the first is in flight — but to a
+      // DIFFERENT destination node.
+      ByteWriter req;
+      req.put_span<std::uint8_t>({});
+      (void)router_.transport().call(
+          Envelope::request(0, 2, MsgType::kDiffRequest, req));
+    }
+  }
+
+private:
+  Router& router_;
+  int depth_ = 0;
+};
+
+TEST(InlineTransport, UplinkSegmentSharedAcrossDestinations) {
+  sim::CostModel model = sim::CostModel::zero();
+  model.link_contention_us = 7.0;
+  // Three single-proc nodes behind one switch; contexts 0,1,2 on nodes 0,1,2.
+  Router router({0, 1, 2}, model, sim::Topology::flat_switch(3, 1));
+  CrossDestNestedHandler nested(router);
+  router.bind_handler(1, &nested);
+  EchoHandler echo;
+  router.bind_handler(2, &echo);
+  sim::VirtualClock clock(0.0);
+  sim::VirtualClock::Binder bind(&clock);
+  ByteWriter req;
+  req.put_span<std::uint8_t>({});
+  (void)router.transport().call(
+      Envelope::request(0, 1, MsgType::kDiffRequest, req));
+  // The nested 0->2 request left while 0->1 still occupied node 0's uplink:
+  // different destination, same segment, so it queued and paid the 7us. A
+  // (src, dst)-pair keyed window would have let it sail through for free.
+  EXPECT_NEAR(clock.now_us(), 7.0, 1e-9);
+  EXPECT_EQ(echo.calls, 1);
+}
+
 // ------------------------------------------------------ perturbation --------
 
 PerturbOptions perturb_all() {

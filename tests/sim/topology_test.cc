@@ -1,0 +1,195 @@
+// Hierarchical topology descriptor: rank <-> leaf round trips for every
+// preset, path-stage enumeration, the bit-for-bit sp2 == legacy-cost
+// guarantee, spec parsing and the OMSP_TOPOLOGY override. The worked cost
+// examples in docs/TOPOLOGY.md are asserted here (FatTreeWorkedExamples) so
+// the documented numbers cannot drift from the code.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/topology.hpp"
+
+namespace omsp::sim {
+namespace {
+
+std::vector<Topology> all_presets() {
+  return {Topology::sp2(), Topology::flat_switch(64, 4),
+          Topology::fat_tree(2, 4, 2), Topology::fat_tree(3, 2, 4),
+          Topology::asymmetric({4, 2, 2, 1})};
+}
+
+TEST(TopologyDescriptor, RankLeafRoundTripEveryPreset) {
+  for (const auto& t : all_presets()) {
+    SCOPED_TRACE(t.spec());
+    std::uint32_t total = 0;
+    for (NodeId n = 0; n < t.nodes(); ++n) total += t.procs_on_node(n);
+    EXPECT_EQ(t.nprocs(), total);
+    for (Rank r = 0; r < t.nprocs(); ++r) {
+      const NodeId n = t.node_of_rank(r);
+      const ProcId p = t.proc_of_rank(r);
+      EXPECT_LT(n, t.nodes());
+      EXPECT_LT(p, t.procs_on_node(n));
+      EXPECT_EQ(t.rank_of(n, p), r);
+    }
+    // Node-major: consecutive ranks fill a node before spilling over.
+    for (Rank r = 0; r + 1 < t.nprocs(); ++r)
+      EXPECT_LE(t.node_of_rank(r), t.node_of_rank(r + 1));
+  }
+}
+
+TEST(TopologyDescriptor, PathStagesSymmetricAndShaped) {
+  for (const auto& t : all_presets()) {
+    SCOPED_TRACE(t.spec());
+    for (NodeId a = 0; a < t.nodes(); ++a) {
+      for (NodeId b = 0; b < t.nodes(); ++b) {
+        EXPECT_EQ(t.top_stage(a, b), t.top_stage(b, a));
+        EXPECT_EQ(t.path_stages(a, b), t.path_stages(b, a));
+        const auto path = t.path_stages(a, b);
+        if (a == b) {
+          EXPECT_EQ(path, std::vector<std::uint32_t>{0});
+        } else {
+          // Up through 1..k, down through k-1..1: palindromic, length 2k-1,
+          // peaking at the top stage.
+          const std::uint32_t k = t.top_stage(a, b);
+          ASSERT_EQ(path.size(), 2u * k - 1);
+          for (std::size_t i = 0; i < path.size(); ++i) {
+            EXPECT_EQ(path[i], path[path.size() - 1 - i]);
+            EXPECT_EQ(path[i], i < k ? i + 1 : 2 * k - 1 - i);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TopologyDescriptor, FatTreeGrouping) {
+  const Topology t = Topology::fat_tree(2, 4, 2);
+  EXPECT_EQ(t.nodes(), 16u);
+  EXPECT_EQ(t.nprocs(), 32u);
+  EXPECT_EQ(t.top_stage(0, 0), 0u);  // same node
+  EXPECT_EQ(t.top_stage(0, 3), 1u);  // same edge switch (nodes 0-3)
+  EXPECT_EQ(t.top_stage(0, 4), 2u);  // crosses the spine
+  EXPECT_EQ(t.top_stage(12, 15), 1u);
+  EXPECT_EQ(t.top_stage(3, 12), 2u);
+}
+
+// The tier-1 guard: the sp2 preset must reproduce the legacy binary
+// intra/inter cost split EXACTLY (EXPECT_EQ on doubles, not NEAR) for a
+// grid of message sizes, under both the default and the zero cost model.
+TEST(TopologyDescriptor, Sp2CostBitForBitMatchesLegacy) {
+  const Topology sp2 = Topology::sp2();
+  for (const CostModel& m : {CostModel::sp2_default(), CostModel::zero()}) {
+    for (const std::size_t bytes :
+         {std::size_t{0}, std::size_t{1}, std::size_t{64}, std::size_t{1024},
+          std::size_t{4096}, std::size_t{65536}, std::size_t{1} << 20}) {
+      EXPECT_EQ(sp2.message_us(m, bytes, 0, 0), m.message_us(bytes, true));
+      EXPECT_EQ(sp2.message_us(m, bytes, 1, 1), m.message_us(bytes, true));
+      EXPECT_EQ(sp2.message_us(m, bytes, 0, 3), m.message_us(bytes, false));
+      EXPECT_EQ(sp2.message_us(m, bytes, 2, 1), m.message_us(bytes, false));
+    }
+  }
+  // The legacy two-arg constructor and the preset are the same machine.
+  EXPECT_EQ(sp2, Topology(4, 4));
+  EXPECT_EQ(sp2.nodes(), 4u);
+  EXPECT_EQ(sp2.procs_per_node(), 4u);
+}
+
+// The exact numbers documented in docs/TOPOLOGY.md "Worked cost examples".
+// fat_tree(2, 4, 2), default cost model, 1024-byte message:
+//   intra-node:    10 + 1024/150                    = 16.8267 us
+//   same switch:   60 + 1024/35                     = 89.2571 us
+//   cross-switch:  2*(60 + 1024/35) + 25 + 1024/300 = 206.9276 us
+TEST(TopologyDescriptor, FatTreeWorkedExamples) {
+  const Topology t = Topology::fat_tree(2, 4, 2);
+  const CostModel m = CostModel::sp2_default();
+  const double intra = t.message_us(m, 1024, 0, 0);
+  const double edge = t.message_us(m, 1024, 0, 3);
+  const double spine = t.message_us(m, 1024, 0, 5);
+  EXPECT_DOUBLE_EQ(intra, 10.0 + 1024.0 / 150.0);
+  EXPECT_DOUBLE_EQ(edge, 60.0 + 1024.0 / 35.0);
+  EXPECT_DOUBLE_EQ(spine,
+                   2.0 * (60.0 + 1024.0 / 35.0) + 25.0 + 1024.0 / 300.0);
+  EXPECT_NEAR(intra, 16.8267, 1e-4);
+  EXPECT_NEAR(edge, 89.2571, 1e-4);
+  EXPECT_NEAR(spine, 206.9276, 1e-4);
+}
+
+TEST(TopologyDescriptor, PerStageOverridesAndOccupancy) {
+  // Explicit stage parameters beat the CostModel; occupancy is additive.
+  std::vector<Stage> stages = {Stage{2, 5.0, 100.0, 1.0},
+                               Stage{3, 40.0, 50.0, 2.0}};
+  const Topology t(std::move(stages), "custom");
+  const CostModel m = CostModel::zero(); // must not matter for pinned stages
+  EXPECT_DOUBLE_EQ(t.message_us(m, 1000, 1, 1), 5.0 + 10.0 + 1.0);
+  EXPECT_DOUBLE_EQ(t.message_us(m, 1000, 0, 2), 40.0 + 20.0 + 2.0);
+}
+
+TEST(TopologyDescriptor, AsymmetricMix) {
+  const Topology t = Topology::asymmetric({4, 2, 2});
+  EXPECT_FALSE(t.uniform());
+  EXPECT_EQ(t.nodes(), 3u);
+  EXPECT_EQ(t.nprocs(), 8u);
+  EXPECT_EQ(t.procs_on_node(0), 4u);
+  EXPECT_EQ(t.procs_on_node(2), 2u);
+  EXPECT_EQ(t.node_of_rank(3), 0u);
+  EXPECT_EQ(t.node_of_rank(4), 1u);
+  EXPECT_EQ(t.node_of_rank(6), 2u);
+  EXPECT_EQ(t.proc_of_rank(5), 1u);
+  EXPECT_EQ(t.rank_of(2, 1), 7u);
+  EXPECT_TRUE(t.same_node(0, 3));
+  EXPECT_FALSE(t.same_node(3, 4));
+}
+
+TEST(TopologyDescriptor, ParseRoundTripsAndRejectsMalformed) {
+  for (const auto& t : all_presets()) {
+    const auto parsed = Topology::parse(t.spec());
+    ASSERT_TRUE(parsed.has_value()) << t.spec();
+    EXPECT_EQ(*parsed, t) << t.spec();
+    EXPECT_EQ(parsed->spec(), t.spec());
+  }
+  EXPECT_EQ(Topology::parse("flat:64x4")->nodes(), 64u);
+  EXPECT_EQ(Topology::parse("fat:2x8x2")->nprocs(), 128u);
+  EXPECT_EQ(Topology::parse("asym:4+2+1")->nprocs(), 7u);
+  for (const char* bad :
+       {"", "bogus", "flat:", "flat:4", "flat:4x", "flat:0x4", "flat:4x4x2",
+        "fat:2x4", "fat:2x4x4x4", "asym:", "asym:4+", "asym:4+0",
+        "flat:4x4junk", "sp3"}) {
+    EXPECT_FALSE(Topology::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(TopologyDescriptor, EnvOverride) {
+  ::unsetenv("OMSP_TOPOLOGY");
+  EXPECT_EQ(Topology::from_env_or(Topology::sp2()), Topology::sp2());
+  ::setenv("OMSP_TOPOLOGY", "flat:64x4", 1);
+  const Topology t = Topology::from_env_or(Topology::sp2());
+  EXPECT_EQ(t, Topology::flat_switch(64, 4));
+  EXPECT_EQ(t.spec(), "flat:64x4");
+  ::setenv("OMSP_TOPOLOGY", "fat:2x4x2", 1);
+  EXPECT_EQ(Topology::from_env_or(Topology::sp2()),
+            Topology::fat_tree(2, 4, 2));
+  ::unsetenv("OMSP_TOPOLOGY");
+}
+
+TEST(TopologyDescriptor, LinkSegments) {
+  const Topology flat = Topology::flat_switch(4, 2);
+  // Same node: stage 0, keyed by the node itself.
+  EXPECT_EQ(flat.link_segment(2, 2), (std::uint64_t{0} << 32) | 2);
+  // Off node: stage 1, keyed by the SENDER's uplink — destination-agnostic.
+  EXPECT_EQ(flat.link_segment(1, 0), flat.link_segment(1, 3));
+  EXPECT_EQ(flat.link_segment(1, 0), (std::uint64_t{1} << 32) | 1);
+
+  const Topology fat = Topology::fat_tree(2, 4, 2);
+  // Within one edge group: the sender node's NIC.
+  EXPECT_EQ(fat.link_segment(0, 3), (std::uint64_t{1} << 32) | 0);
+  // Across the spine: the sender's edge-switch trunk (group of 4), shared
+  // by every cross-spine sender in that group.
+  EXPECT_EQ(fat.link_segment(0, 5), fat.link_segment(3, 12));
+  EXPECT_EQ(fat.link_segment(0, 5), (std::uint64_t{2} << 32) | 0);
+  EXPECT_NE(fat.link_segment(0, 5), fat.link_segment(5, 0));
+}
+
+} // namespace
+} // namespace omsp::sim

@@ -145,6 +145,32 @@ TEST_P(DsmSystemTest, StatsCountCommunication) {
   EXPECT_GT(s[Counter::kDiffsCreated], 0u);
 }
 
+// An asymmetric node mix (4+2+2 ranks across three nodes) must run
+// correctly in thread mode: rank_epilogue and the barrier count
+// threads_in_context(cid) per context, not a uniform procs_per_node().
+TEST(DsmAsymmetricTest, AsymmetricNodeMixThreadMode) {
+  Config cfg;
+  cfg.mode = Mode::kThread;
+  cfg.topology = sim::Topology::asymmetric({4, 2, 2});
+  cfg.heap_bytes = 1u << 20;
+  cfg.cost = sim::CostModel::zero();
+  DsmSystem dsm(cfg);
+  ASSERT_EQ(dsm.nprocs(), 8u);
+
+  auto x = dsm.alloc_page_aligned<int>(dsm.nprocs());
+  std::atomic<int> mismatches{0};
+  dsm.parallel([&](Rank r) {
+    x[r] = 100 + static_cast<int>(r);
+    dsm.barrier();
+    // Every rank sees every other rank's write after the barrier.
+    for (Rank o = 0; o < dsm.nprocs(); ++o)
+      if (x[o] != 100 + static_cast<int>(o)) mismatches.fetch_add(1);
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  for (Rank r = 0; r < dsm.nprocs(); ++r)
+    EXPECT_EQ(x[r], 100 + static_cast<int>(r));
+}
+
 INSTANTIATE_TEST_SUITE_P(Modes, DsmSystemTest,
                          ::testing::Values(Mode::kThread, Mode::kProcess),
                          [](const auto& info) {
