@@ -153,6 +153,47 @@ BENCHMARK(BM_MultiWriterFetch)
     ->ArgName("overlap")
     ->Unit(benchmark::kMicrosecond);
 
+// Barrier engine comparison on a 16-node fat tree: arg 0 runs the seed's
+// centralized manager, arg 1 the hierarchical tree episode (OMSP_COLL=tree).
+// Host time measures the episode machinery; the modeled cost of one barrier
+// — the quantity the engine optimizes — is exported as virtual_us_per_iter.
+// Per-byte injection occupancy is on, so the manager's 15-message departure
+// fan-out serializes while the tree spreads it over node and edge leaders.
+void BM_BarrierEpisode(benchmark::State& state) {
+  Config cfg;
+  cfg.topology = sim::Topology::fat_tree(2, 4, 1); // 16 nodes, 1 proc each
+  cfg.cost = sim::CostModel::sp2_default();
+  cfg.cost.cpu_scale = 0;
+  cfg.cost.occupancy_byte_us = 0.02;
+  cfg.heap_bytes = 1u << 20;
+  cfg.coll.tree = state.range(0) != 0;
+  DsmSystem dsm(cfg);
+  const std::size_t n = kPageSize / sizeof(long);
+  auto data = dsm.alloc_page_aligned<long>(n);
+  long expect = 0;
+  double virtual_us = 0;
+  for (auto _ : state) {
+    ++expect;
+    dsm.parallel([&](Rank r) {
+      // Every context dirties a slice of one falsely shared page, so each
+      // barrier carries real write notices up (and departures down) the tree.
+      data[r * (n / 16)] = expect;
+      dsm.barrier();
+      benchmark::DoNotOptimize(data[0]);
+      dsm.barrier();
+    });
+    virtual_us = dsm.master_time_us();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["virtual_us_per_iter"] =
+      benchmark::Counter(virtual_us / static_cast<double>(expect));
+}
+BENCHMARK(BM_BarrierEpisode)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("tree")
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_Mprotect(benchmark::State& state) {
   Config cfg;
   cfg.topology = sim::Topology(1, 1);

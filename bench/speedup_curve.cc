@@ -11,7 +11,7 @@
 //    mode at the sizes a single host can carry. --seed <n> runs the MPI
 //    sweep over a lossy network (seeded per-link loss schedules, no jitter)
 //    so the curves are a pure function of the seed; --json emits the curves
-//    keyed by topology spec for the BENCH_pr6.json drift check.
+//    keyed by topology spec for the BENCH_pr7.json drift check.
 #include <cstdio>
 #include <cstring>
 
@@ -30,6 +30,33 @@ apps::sor::Params scaled_sor(std::uint32_t nprocs) {
   p.cols = g_smoke ? 64 : 128;
   p.iters = g_smoke ? 2 : 4;
   return p;
+}
+
+// One collective micro-episode under an explicit engine selection: modeled
+// time per operation (cpu_scale is zero in the caller's cost model, so the
+// number is a pure function of topology x schedule x cost knobs).
+double coll_micro_us(const sim::Topology& topo, const sim::CostModel& cost,
+                     bool tree, bool barrier_op, std::size_t payload_bytes,
+                     int iters) {
+  mpi::MpiWorld w(topo, cost);
+  coll::Options opts;
+  opts.tree = tree;
+  // Compare the schedules themselves at every size; the size switchover is
+  // the production default, but a benchmark that silently fell back to flat
+  // would chart the same engine twice.
+  opts.flat_max_bytes = 0;
+  w.set_coll(opts);
+  w.run([&](mpi::Comm& c) {
+    if (barrier_op) {
+      for (int i = 0; i < iters; ++i) c.barrier();
+    } else {
+      std::vector<double> buf(payload_bytes / sizeof(double),
+                              static_cast<double>(c.rank()));
+      for (int i = 0; i < iters; ++i)
+        c.allreduce(buf.data(), buf.size(), std::plus<double>{});
+    }
+  });
+  return w.makespan_us() / iters;
 }
 
 std::string point_json(const apps::Result& r, std::uint32_t nprocs) {
@@ -119,13 +146,71 @@ int run_scale(const BenchArgs& args) {
               "across runs, per seed); the DSM rows carry the\nusual "
               "host-race tolerance (EXPERIMENTS.md).\n");
 
+  // --- hierarchical collectives: central/flat vs tree ------------------------
+  // Injection occupancy on (per-byte only): a sender holds its link for
+  // bytes * occupancy_byte_us per message, so the flat star's root serializes
+  // p-1 arrivals while the tree spreads them over node and switch leaders.
+  // Latency-dominated small payloads still favor the flat star (fewer
+  // chained hops) — the crossover OMSP_COLL=tree:<bytes> is tuned by.
+  sim::CostModel coll_cost = paper_cost();
+  coll_cost.cpu_scale = 0;
+  coll_cost.occupancy_byte_us = 0.02;
+  const int coll_iters = g_smoke ? 1 : 4;
+  constexpr std::size_t kSmall = 8, kLarge = 64 * 1024;
+
+  std::printf("\nCollectives on the fat trees: modeled us per operation\n");
+  print_rule(72);
+  std::printf("%-12s %6s %10s %10s %12s %12s %12s %12s\n", "topology", "ranks",
+              "barr-ctr", "barr-tree", "ar8-flat", "ar8-tree", "ar64k-flat",
+              "ar64k-tree");
+  print_rule(72);
+  std::string coll_json;
+  for (const auto& topo :
+       {sim::Topology::fat_tree(2, 4, 2), sim::Topology::fat_tree(2, 8, 2),
+        sim::Topology::fat_tree(2, 16, 2)}) {
+    const double barr_central =
+        coll_micro_us(topo, coll_cost, false, true, 0, coll_iters);
+    const double barr_tree =
+        coll_micro_us(topo, coll_cost, true, true, 0, coll_iters);
+    const double ar8_flat =
+        coll_micro_us(topo, coll_cost, false, false, kSmall, coll_iters);
+    const double ar8_tree =
+        coll_micro_us(topo, coll_cost, true, false, kSmall, coll_iters);
+    const double ar64k_flat =
+        coll_micro_us(topo, coll_cost, false, false, kLarge, coll_iters);
+    const double ar64k_tree =
+        coll_micro_us(topo, coll_cost, true, false, kLarge, coll_iters);
+    std::printf("%-12s %6u %10.1f %10.1f %12.1f %12.1f %12.1f %12.1f\n",
+                topo.spec().c_str(), topo.nprocs(), barr_central, barr_tree,
+                ar8_flat, ar8_tree, ar64k_flat, ar64k_tree);
+    JsonObject o;
+    o.add("nprocs", static_cast<std::uint64_t>(topo.nprocs()));
+    o.add("barrier_central_us", barr_central);
+    o.add("barrier_tree_us", barr_tree);
+    o.add("allreduce8_flat_us", ar8_flat);
+    o.add("allreduce8_tree_us", ar8_tree);
+    o.add("allreduce64k_flat_us", ar64k_flat);
+    o.add("allreduce64k_tree_us", ar64k_tree);
+    if (!coll_json.empty()) coll_json += ", ";
+    coll_json += "\"" + topo.spec() + "\": " + o.str();
+  }
+  print_rule(72);
+  std::printf("\nThe tree barrier replaces log2(p) dissemination rounds of "
+              "spine crossings with\none leader-merged pass up and down; the "
+              "64 KB allreduce flips to the tree as\nper-byte injection "
+              "occupancy overtakes hop latency. At 8 bytes the flat\nstar's "
+              "two hops win up to 128 ranks; by 512 even small-message "
+              "fan-in\nserializes enough to favor the tree — the size-and-"
+              "scale crossover the\nOMSP_COLL=tree:<bytes> knob tunes.\n");
+
   if (!args.json_path.empty()) {
     JsonObject top;
     top.add_string("bench", "speedup_curve_scale");
     top.add("smoke", args.smoke);
     top.add("seed", static_cast<std::uint64_t>(args.seed));
     top.add("curves", "{\"mpi\": {" + mpi_json + "}, \"sdsm_thread\": {" +
-                          dsm_json + "}}");
+                          dsm_json + "}, \"collectives\": {" + coll_json +
+                          "}}");
     write_json_file(args.json_path, top.str());
   }
   return 0;

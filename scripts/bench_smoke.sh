@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Bench smoke: run the evaluation benches at CI problem sizes, merge their
-# machine-readable rows into BENCH_pr6.json, and fail if message counts
+# machine-readable rows into BENCH_pr7.json, and fail if message counts
 # drifted vs the committed baseline under the default (inline, synchronous)
 # transport.
 #
@@ -15,11 +15,11 @@
 # rows are exempt entirely: its branch-and-bound pruning makes message
 # counts vary by orders of magnitude run to run.
 #
-# Baselines are keyed by topology spec (bench/bench_smoke_baseline.json maps
-# "sp2", "flat:64x4", ... to their own table2 rows), so the exact no-loss
-# 4x4 baseline survives sweeps over larger machines: a run under
-# OMSP_TOPOLOGY=<spec> is compared only against ITS topology's baseline and
-# fails loudly if none is committed yet.
+# Baselines are keyed by topology spec AND collective engine
+# (bench/bench_smoke_baseline.json maps "sp2", "flat:64x4", "sp2+coll=tree",
+# ... to their own table2 rows), so the exact no-loss 4x4 baseline survives
+# sweeps over larger machines or OMSP_COLL=tree: a run is compared only
+# against ITS key's baseline and fails loudly if none is committed yet.
 #
 # The beyond-the-SP2 scalability sweep (speedup_curve --scale) runs under
 # seeds 1-3; its MPI curves are bit-deterministic per seed (per-link loss
@@ -28,7 +28,7 @@
 set -euo pipefail
 
 BUILD_DIR=build
-OUT=BENCH_pr6.json
+OUT=BENCH_pr7.json
 UPDATE=0
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -54,8 +54,9 @@ trap 'rm -rf "$TMP"' EXIT
 
 # Default transport only: no OMSP_OVERLAP / loss in the environment — this
 # is the bit-for-bit seed configuration the drift check certifies.
-# OMSP_TOPOLOGY is deliberately NOT unset: a caller-selected machine shape is
-# a legitimate sweep, checked against its own baseline key.
+# OMSP_TOPOLOGY and OMSP_COLL are deliberately NOT unset: a caller-selected
+# machine shape or collective engine is a legitimate sweep, checked against
+# its own baseline key.
 unset OMSP_OVERLAP OMSP_OVERLAP_FETCH OMSP_OVERLAP_PREFETCH OMSP_PERTURB_SEED \
       OMSP_LOSS_PROB
 
@@ -92,13 +93,15 @@ done
     --json "$TMP/scale_seed1_rerun.json" >/dev/null
 
 python3 - "$TMP" "$OUT" "$BASELINE" "$UPDATE" <<'EOF'
-import json, sys
+import json, os, sys
 
 tmp, out_path, baseline_path, update = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4] == "1"
 
 table2 = json.load(open(f"{tmp}/table2.json"))
 fig1 = json.load(open(f"{tmp}/fig1.json"))
 topo = table2.get("topology", "sp2")
+coll = os.environ.get("OMSP_COLL", "")
+key = topo if coll in ("", "central") else f"{topo}+coll={coll}"
 
 scale = {}
 for s in (1, 2, 3):
@@ -112,10 +115,34 @@ if scale["seed1"]["curves"]["mpi"] != rerun["curves"]["mpi"]:
     sys.exit(1)
 print("scale sweep: seed-1 MPI curves bit-identical across runs")
 
+# Hierarchical-collectives acceptance: on the 64- and 256-node fat trees the
+# tree engine's modeled barrier and 64 KB allreduce must beat the
+# centralized/flat engine strictly; the 8-byte column keeps the size
+# crossover visible (flat wins the small-message star at 32/128 ranks).
+colls = scale["seed1"]["curves"]["collectives"]
+for shape in ("fat:2x8x2", "fat:2x16x2"):
+    row = colls[shape]
+    if not row["barrier_tree_us"] < row["barrier_central_us"]:
+        print(f"{shape}: tree barrier {row['barrier_tree_us']} !< "
+              f"central {row['barrier_central_us']}", file=sys.stderr)
+        sys.exit(1)
+    if not row["allreduce64k_tree_us"] < row["allreduce64k_flat_us"]:
+        print(f"{shape}: tree 64K allreduce {row['allreduce64k_tree_us']} !< "
+              f"flat {row['allreduce64k_flat_us']}", file=sys.stderr)
+        sys.exit(1)
+small = colls["fat:2x4x2"]
+if not small["allreduce8_flat_us"] < small["allreduce8_tree_us"]:
+    print("fat:2x4x2: expected the flat star to win the 8-byte allreduce "
+          "(size crossover)", file=sys.stderr)
+    sys.exit(1)
+print("collectives: tree beats central/flat at 64 and 256 nodes "
+      "(barrier + 64K allreduce); 8-byte crossover intact")
+
 merged = {
     "generated_by": "scripts/bench_smoke.sh",
     "transport": "inline (default)",
     "topology": topo,
+    "coll": coll or "central",
     "table2_traffic": table2,
     "fig1_speedup": fig1,
     "speedup_curve_scale": scale,
@@ -130,20 +157,20 @@ if update:
         baselines = json.load(open(baseline_path))
     except FileNotFoundError:
         baselines = {}
-    baselines[topo] = table2  # other topologies' baselines are preserved
+    baselines[key] = table2  # other keys' baselines are preserved
     with open(baseline_path, "w") as f:
         json.dump(baselines, f, indent=2)
         f.write("\n")
-    print(f"updated {baseline_path} [{topo}]")
+    print(f"updated {baseline_path} [{key}]")
     sys.exit(0)
 
 baselines = json.load(open(baseline_path))
-if topo not in baselines:
-    print(f"no committed baseline for topology '{topo}' in {baseline_path}; "
-          f"run with --update-baseline under OMSP_TOPOLOGY={topo} first",
+if key not in baselines:
+    print(f"no committed baseline for '{key}' in {baseline_path}; "
+          f"run with --update-baseline under that configuration first",
           file=sys.stderr)
     sys.exit(1)
-baseline = baselines[topo]
+baseline = baselines[key]
 SDSM_BAND = 0.25
 failures = []
 for app, versions in baseline["apps"].items():
@@ -163,10 +190,10 @@ for app, versions in baseline["apps"].items():
                     f"(baseline {base} +/-25%)")
 
 if failures:
-    print(f"message-count drift vs seed baseline [{topo}]:", file=sys.stderr)
+    print(f"message-count drift vs seed baseline [{key}]:", file=sys.stderr)
     for f_ in failures:
         print(f"  {f_}", file=sys.stderr)
     sys.exit(1)
-print(f"message counts match the seed baseline [{topo}] "
+print(f"message counts match the seed baseline [{key}] "
       "(MPI exact, SDSM within 25%, TSP SDSM exempt)")
 EOF

@@ -52,6 +52,8 @@ enum class Counter : std::size_t {
   kMsgsLost,            // one-way deliveries dropped by the lossy transport
   kRetransmits,         // retransmissions issued after a modeled RTO expiry
   kAcksSent,            // explicit ack messages for reliable notice channels
+  kCollStages,          // hierarchical-collective schedule edges traversed
+  kCollBytes,           // wire bytes carried across those schedule edges
   kCount
 };
 
@@ -66,7 +68,8 @@ inline const char* counter_name(Counter c) {
                "barriers",         "lock_acquires",   "lock_remote_acquires",
                "full_page_fetches", "prefetch_batches",
                "prefetch_pages_fetched", "prefetch_hits",
-               "msgs_lost",        "retransmits",     "acks_sent"};
+               "msgs_lost",        "retransmits",     "acks_sent",
+               "coll_stages",      "coll_bytes"};
   return names[static_cast<std::size_t>(c)];
 }
 

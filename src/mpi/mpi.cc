@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "net/message.hpp"
+#include "trace/tracer.hpp"
+
 namespace omsp::mpi {
 
 MpiWorld::MpiWorld(sim::Topology topo, sim::CostModel cost)
@@ -20,6 +23,9 @@ MpiWorld::MpiWorld(sim::Topology topo, sim::CostModel cost,
   }
   mailboxes_.resize(topo_.nprocs());
   for (auto& m : mailboxes_) m = std::make_unique<Mailbox>();
+  // OMSP_COLL selects the collective engine code-free, mirroring the DSM
+  // side; set_coll() overrides explicitly before run().
+  coll_ = coll::Options::from_env();
 }
 
 MpiWorld::~MpiWorld() = default;
@@ -126,6 +132,10 @@ void Comm::sendrecv(int dst, int send_tag, const void* send_data,
 }
 
 void Comm::barrier() {
+  if (tree_mode()) {
+    sched_barrier();
+    return;
+  }
   // Dissemination barrier: ceil(log2 p) rounds, one send+recv per round.
   const int p = size();
   char token = 0;
@@ -137,6 +147,10 @@ void Comm::barrier() {
 }
 
 void Comm::bcast(int root, void* data, std::size_t bytes) {
+  if (tree_mode()) {
+    sched_bcast(root, data, bytes);
+    return;
+  }
   // Binomial tree rooted at `root`; relative ranks linearize the tree.
   const int p = size();
   const int rel = (rank_ - root + p) % p;
@@ -156,9 +170,12 @@ void Comm::bcast(int root, void* data, std::size_t bytes) {
   }
 }
 
-void Comm::reduce_impl(
-    int root, void* inout, std::size_t n, std::size_t elem,
-    const std::function<void(void*, const void*, std::size_t)>& combine) {
+void Comm::reduce_impl(int root, void* inout, std::size_t n, std::size_t elem,
+                       const CombineFn& combine) {
+  if (tree_mode()) {
+    sched_reduce(root, inout, n, elem, combine);
+    return;
+  }
   const int p = size();
   const int rel = (rank_ - root + p) % p;
   const std::size_t bytes = n * elem;
@@ -210,6 +227,148 @@ void Comm::gather_impl(int root, const void* send_buf, void* recv_buf,
                   agg.data() + static_cast<std::size_t>(rr) * block_bytes,
                   block_bytes);
     }
+  }
+}
+
+// --- hierarchical collectives (coll::Schedule) -------------------------------
+
+bool Comm::tree_mode() const { return world_.coll_.tree; }
+
+coll::Schedule Comm::coll_schedule(int root, std::size_t payload_bytes) const {
+  // Members are root-relative ranks so member 0 is the root, while each
+  // member keeps its absolute rank's node placement — the tree follows the
+  // real machine hierarchy for any root.
+  const int p = size();
+  return coll::Schedule::build(
+      world_.topo_, static_cast<std::uint32_t>(p), payload_bytes,
+      world_.coll_, [this, root, p](std::uint32_t m) {
+        return world_.topo_.node_of_rank(
+            static_cast<Rank>((static_cast<int>(m) + root) % p));
+      });
+}
+
+void Comm::coll_send(int dst, int tag, const void* data, std::size_t bytes,
+                     std::uint32_t level, int leader) {
+  const std::size_t wire = bytes + net::kHeaderBytes;
+  // Injection serialization: consecutive fan-out sends from one member
+  // queue behind each other's wire occupancy (zero with the default cost
+  // knobs). Charged before the send so later children's arrivals include
+  // every earlier sibling's occupancy.
+  clock_.charge(world_.router_->model().occupancy_us(wire));
+  send(dst, tag, data, bytes);
+  if (tree_mode()) {
+    auto& stats = world_.router_->stats(static_cast<ContextId>(rank_));
+    stats.add(Counter::kCollStages);
+    stats.add(Counter::kCollBytes, wire);
+    OMSP_TRACE_EVENT(kCollStage, static_cast<ContextId>(rank_), wire,
+                     (static_cast<std::uint64_t>(level) << 32) |
+                         static_cast<std::uint64_t>(leader));
+  }
+}
+
+void Comm::coll_sink(std::size_t bytes) {
+  // Fan-in serialization: a leader absorbs one child message per occupancy
+  // window on its downlink.
+  clock_.charge(world_.router_->model().occupancy_us(bytes + net::kHeaderBytes));
+}
+
+void Comm::sched_barrier() {
+  // Control message: always the full hierarchy tree, regardless of the
+  // flat-vs-tree payload switchover.
+  const int p = size();
+  const coll::Schedule sched = coll::Schedule::tree(
+      world_.topo_, static_cast<std::uint32_t>(p), [this](std::uint32_t m) {
+        return world_.topo_.node_of_rank(static_cast<Rank>(m));
+      });
+  const auto me = static_cast<std::uint32_t>(rank_);
+  char token = 0;
+  for (const std::uint32_t child : sched.children(me)) {
+    recv(static_cast<int>(child), kTagBarrier, &token, 1);
+    coll_sink(1);
+  }
+  const int parent = sched.parent(me);
+  if (parent >= 0) {
+    coll_send(parent, kTagBarrier, &token, 1, sched.level(me), parent);
+    recv(parent, kTagBarrier, &token, 1);
+  }
+  for (const std::uint32_t child : sched.children(me)) {
+    coll_send(static_cast<int>(child), kTagBarrier, &token, 1,
+              sched.level(child), rank_);
+  }
+}
+
+void Comm::sched_bcast(int root, void* data, std::size_t bytes) {
+  const int p = size();
+  const coll::Schedule sched = coll_schedule(root, bytes);
+  const auto me = static_cast<std::uint32_t>((rank_ - root + p) % p);
+  const auto abs = [root, p](std::uint32_t m) {
+    return (static_cast<int>(m) + root) % p;
+  };
+  const int parent = sched.parent(me);
+  auto* buf = static_cast<std::uint8_t*>(data);
+  // Pipelined segments: a member forwards segment s while segment s+1 is
+  // still in flight to it, so deep trees stream instead of
+  // store-and-forwarding the whole payload per level.
+  const std::size_t seg = std::max<std::size_t>(1, world_.coll_.segment_bytes);
+  std::size_t off = 0;
+  do {
+    const std::size_t len = std::min(seg, bytes - off);
+    if (parent >= 0) recv(abs(static_cast<std::uint32_t>(parent)),
+                          kTagBcast, buf + off, len);
+    for (const std::uint32_t child : sched.children(me)) {
+      coll_send(abs(child), kTagBcast, buf + off, len, sched.level(child),
+                rank_);
+    }
+    off += seg;
+  } while (off < bytes);
+}
+
+void Comm::sched_reduce(int root, void* inout, std::size_t n,
+                        std::size_t elem, const CombineFn& combine) {
+  const int p = size();
+  const std::size_t bytes = n * elem;
+  const coll::Schedule sched = coll_schedule(root, bytes);
+  const auto me = static_cast<std::uint32_t>((rank_ - root + p) % p);
+  const auto abs = [root, p](std::uint32_t m) {
+    return (static_cast<int>(m) + root) % p;
+  };
+  std::vector<std::uint8_t> scratch(bytes);
+  for (const std::uint32_t child : sched.children(me)) {
+    recv(abs(child), kTagReduce, scratch.data(), bytes);
+    coll_sink(bytes);
+    combine(inout, scratch.data(), n);
+  }
+  const int parent = sched.parent(me);
+  if (parent >= 0) {
+    coll_send(abs(static_cast<std::uint32_t>(parent)), kTagReduce, inout,
+              bytes, sched.level(me), abs(static_cast<std::uint32_t>(parent)));
+  }
+}
+
+void Comm::allreduce_impl(void* inout, std::size_t n, std::size_t elem,
+                          const CombineFn& combine) {
+  // Fused one-pass allreduce through rank 0 (flat star in central mode or
+  // below the switchover, the hierarchy tree above it): partials combine on
+  // the way up, the result returns down the same schedule. Same 2(p−1)
+  // message count as the old reduce-then-bcast pair, but one traversal of
+  // latency each way instead of two chained binomial trees.
+  const std::size_t bytes = n * elem;
+  const coll::Schedule sched = coll_schedule(0, bytes);
+  const auto me = static_cast<std::uint32_t>(rank_);
+  std::vector<std::uint8_t> scratch(bytes);
+  for (const std::uint32_t child : sched.children(me)) {
+    recv(static_cast<int>(child), kTagReduce, scratch.data(), bytes);
+    coll_sink(bytes);
+    combine(inout, scratch.data(), n);
+  }
+  const int parent = sched.parent(me);
+  if (parent >= 0) {
+    coll_send(parent, kTagReduce, inout, bytes, sched.level(me), parent);
+    recv(parent, kTagBcast, inout, bytes);
+  }
+  for (const std::uint32_t child : sched.children(me)) {
+    coll_send(static_cast<int>(child), kTagBcast, inout, bytes,
+              sched.level(child), rank_);
   }
 }
 

@@ -11,10 +11,18 @@
 // traverses), and Table 2's off-node split counts exactly the messages whose
 // path rises above the node stage.
 //
-// Collectives use the classic MPICH algorithms of the era: dissemination
-// barrier, binomial-tree bcast/reduce, reduce+bcast allreduce, pairwise
-// alltoall, binomial gather — so message *counts* scale the way the paper's
-// MPI columns do.
+// Collectives default to the classic MPICH algorithms of the era:
+// dissemination barrier, binomial-tree bcast/reduce, pairwise alltoall,
+// binomial gather — so message *counts* scale the way the paper's MPI
+// columns do. Allreduce is a fused star/tree (partials combine on the way up
+// to rank 0, the result returns down the same schedule) rather than a
+// chained reduce+bcast, which halves its latency at identical message count.
+// Under coll::Options tree mode (OMSP_COLL=tree, or MpiWorld::set_coll),
+// barrier/bcast/reduce/allreduce instead follow the hierarchical
+// coll::Schedule derived from the topology — the same engine the DSM
+// barrier uses — with the flat-vs-tree switchover by payload size and
+// segment-pipelined tree broadcasts, so the MPI baseline stays an honest
+// comparison at large node counts.
 #pragma once
 
 #include <condition_variable>
@@ -29,6 +37,7 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
+#include "net/collective.hpp"
 #include "net/router.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/topology.hpp"
@@ -68,6 +77,11 @@ public:
   // Virtual makespan of the last run(): max over ranks of their final clock.
   double makespan_us() const { return makespan_us_; }
 
+  // Collective engine selection (resolved from OMSP_COLL at construction).
+  // Explicit override for tests and benches; call before run().
+  void set_coll(const coll::Options& opts) { coll_ = opts; }
+  const coll::Options& coll() const { return coll_; }
+
 private:
   friend class Comm;
 
@@ -87,6 +101,7 @@ private:
   sim::Topology topo_;
   std::unique_ptr<net::Router> router_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  coll::Options coll_;
   double makespan_us_ = 0;
 };
 
@@ -174,21 +189,19 @@ public:
     bcast(root, data, n * sizeof(T));
   }
 
-  // Element-wise reduce of inout[0..n) to the root (binomial tree).
+  // Element-wise reduce of inout[0..n) to the root (binomial tree by
+  // default, the hierarchical schedule in tree mode).
   template <typename T, typename Op>
   void reduce(int root, T* inout, std::size_t n, Op op) {
-    reduce_impl(root, inout, n, sizeof(T),
-                [op](void* a, const void* b, std::size_t count) {
-                  T* ta = static_cast<T*>(a);
-                  const T* tb = static_cast<const T*>(b);
-                  for (std::size_t i = 0; i < count; ++i) ta[i] = op(ta[i], tb[i]);
-                });
+    reduce_impl(root, inout, n, sizeof(T), combine_fn<T, Op>(op));
   }
 
+  // Fused allreduce: partials combine up the schedule to rank 0 and the
+  // result returns down the same schedule in one pass — 2(p−1) messages
+  // like reduce+bcast, at the latency of a single traversal each way.
   template <typename T, typename Op>
   void allreduce(T* inout, std::size_t n, Op op) {
-    reduce(0, inout, n, op);
-    bcast(0, inout, n * sizeof(T));
+    allreduce_impl(inout, n, sizeof(T), combine_fn<T, Op>(op));
   }
 
   // Pairwise exchange: send[r*count..] of each rank lands in recv[me*count..]
@@ -279,11 +292,39 @@ private:
   static constexpr int kTagScatter = -105;
   static constexpr int kTagScan = -106;
 
+  using CombineFn = std::function<void(void*, const void*, std::size_t)>;
+  template <typename T, typename Op> static CombineFn combine_fn(Op op) {
+    return [op](void* a, const void* b, std::size_t count) {
+      T* ta = static_cast<T*>(a);
+      const T* tb = static_cast<const T*>(b);
+      for (std::size_t i = 0; i < count; ++i) ta[i] = op(ta[i], tb[i]);
+    };
+  }
+
   void reduce_impl(int root, void* inout, std::size_t n, std::size_t elem,
-                   const std::function<void(void*, const void*, std::size_t)>&
-                       combine);
+                   const CombineFn& combine);
+  void allreduce_impl(void* inout, std::size_t n, std::size_t elem,
+                      const CombineFn& combine);
   void gather_impl(int root, const void* send_buf, void* recv_buf,
                    std::size_t block_bytes);
+
+  // --- hierarchical-collective machinery (coll::Schedule) --------------------
+  bool tree_mode() const;
+  // Schedule over root-relative members (member 0 = root) with each member
+  // placed on its absolute rank's node; build() applies the flat-vs-tree
+  // switchover for `payload_bytes`.
+  coll::Schedule coll_schedule(int root, std::size_t payload_bytes) const;
+  // Send one schedule edge: charges the sender's injection occupancy (so
+  // consecutive fan-out sends serialize; zero with default cost knobs) and,
+  // in tree mode, books the kCollStage event + coll_* counters.
+  void coll_send(int dst, int tag, const void* data, std::size_t bytes,
+                 std::uint32_t level, int leader);
+  // Receiver-side fan-in serialization for one absorbed schedule message.
+  void coll_sink(std::size_t bytes);
+  void sched_barrier();
+  void sched_bcast(int root, void* data, std::size_t bytes);
+  void sched_reduce(int root, void* inout, std::size_t n, std::size_t elem,
+                    const CombineFn& combine);
 
   MpiWorld& world_;
   int rank_;

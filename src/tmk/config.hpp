@@ -15,6 +15,7 @@
 
 #include "common/check.hpp"
 #include "common/mathutil.hpp"
+#include "net/collective.hpp"
 #include "net/transport.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/topology.hpp"
@@ -76,6 +77,14 @@ struct Config {
   // Only the lazy-RC protocol has overlapped paths; home-based fetches stay
   // synchronous.
   net::OverlapOptions overlap;
+
+  // Collective engine (coll::Schedule): central keeps the seed's
+  // manager-based barrier bit-for-bit; tree reduces arrivals up the
+  // topology-derived leader tree and broadcasts departures down it
+  // (docs/PROTOCOL.md "Hierarchical collectives"). Central by default;
+  // OMSP_COLL=central|tree|tree:<bytes> overrides at DsmSystem construction
+  // when coll.tree is false.
+  coll::Options coll;
 
   bool use_alias_mapping() const {
     return alias_mapping.value_or(mode == Mode::kThread);

@@ -57,6 +57,9 @@ DsmSystem::DsmSystem(Config config)
   net::OverlapOptions overlap = config_.overlap;
   if (!overlap.enabled) overlap = net::OverlapOptions::from_env();
   config_.overlap = overlap;
+  // Collective engine selection follows the same pattern (OMSP_COLL as the
+  // code-free enable); resolved before any barrier can run.
+  if (!config_.coll.tree) config_.coll = coll::Options::from_env();
   if (overlap.enabled || perturb.enabled) {
     std::unique_ptr<net::Transport> t =
         std::make_unique<net::InlineTransport>(*router_);
@@ -83,6 +86,7 @@ DsmSystem::DsmSystem(Config config)
   bar_ctx_arrived_.assign(nc, 0);
   bar_arrival_vt_.assign(nc, VectorTime(nc));
   bar_departure_time_.assign(nc, 0.0);
+  bar_ctx_ready_.assign(nc, 0.0);
 
   master_thread_ = std::this_thread::get_id();
   t_current_rank = 0;
@@ -232,6 +236,7 @@ void DsmSystem::barrier() {
   std::unique_lock<std::mutex> lk(bar_mutex_);
   const std::uint64_t mygen = bar_generation_;
 
+  const bool tree = config_.coll.tree;
   double arrival_cost = 0;
   if (++bar_ctx_arrived_[cid] == config_.threads_in_context(cid)) {
     // Context-level release: the last thread of the node closes the interval
@@ -240,11 +245,15 @@ void DsmSystem::barrier() {
     // a lock grant can close a third context's interval after that context
     // already arrived (the grant runs on the acquirer's thread), and then
     // only later arrivers know about it.
+    //
+    // In tree mode the context only closes its interval here: arrivals flow
+    // child -> leader -> root inside tree_barrier_episode(), modeled in one
+    // deterministic traversal once everyone has arrived.
     contexts_[cid]->close_interval();
     auto recs =
         contexts_[cid]->records_unknown_to(contexts_[0]->vt_snapshot());
     bar_arrival_vt_[cid] = contexts_[cid]->vt_snapshot();
-    if (cid != 0) {
+    if (cid != 0 && !tree) {
       const std::size_t bytes = vt_wire_size() + records_wire_size(recs);
       arrival_cost = notify(cid, 0, MsgType::kBarrierArrival, bytes);
       const auto notices = records_notice_count(recs);
@@ -258,23 +267,35 @@ void DsmSystem::barrier() {
     OMSP_TRACE_EVENT(kBarrierArrive, cid, mygen);
   }
   bar_max_arrival_ = std::max(bar_max_arrival_, clk.now_us() + arrival_cost);
+  if (tree)
+    bar_ctx_ready_[cid] = std::max(bar_ctx_ready_[cid], clk.now_us());
 
   if (++bar_arrived_ == nprocs()) {
-    // Last arrival: perform the manager's work on this thread.
-    contexts_[0]->apply_records(bar_pending_arrivals_);
-    bar_pending_arrivals_.clear();
-    const double depart =
-        bar_max_arrival_ + config_.cost.barrier_service_us;
-    bar_departure_time_[0] = depart;
-    for (ContextId c = 1; c < config_.num_contexts(); ++c) {
-      auto recs = contexts_[0]->records_unknown_to(bar_arrival_vt_[c]);
-      const std::size_t bytes = vt_wire_size() + records_wire_size(recs);
-      const double cost = notify(0, c, MsgType::kBarrierDeparture, bytes);
-      const auto notices = records_notice_count(recs);
-      router_->stats(0).add(Counter::kWriteNoticesSent, notices);
-      if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, 0, notices);
-      contexts_[c]->apply_records(recs);
-      bar_departure_time_[c] = depart + cost;
+    if (tree) {
+      tree_barrier_episode();
+    } else {
+      // Last arrival: perform the manager's work on this thread.
+      contexts_[0]->apply_records(bar_pending_arrivals_);
+      bar_pending_arrivals_.clear();
+      const double depart =
+          bar_max_arrival_ + config_.cost.barrier_service_us;
+      bar_departure_time_[0] = depart;
+      // Departures all leave through the manager's uplink: message i queues
+      // behind the occupancy of the i earlier ones (zero with the default
+      // cost knobs, so the seed timing is unchanged).
+      double inject_backlog = 0;
+      for (ContextId c = 1; c < config_.num_contexts(); ++c) {
+        auto recs = contexts_[0]->records_unknown_to(bar_arrival_vt_[c]);
+        const std::size_t bytes = vt_wire_size() + records_wire_size(recs);
+        const double cost = notify(0, c, MsgType::kBarrierDeparture, bytes);
+        const auto notices = records_notice_count(recs);
+        router_->stats(0).add(Counter::kWriteNoticesSent, notices);
+        if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, 0, notices);
+        contexts_[c]->apply_records(recs);
+        bar_departure_time_[c] = depart + inject_backlog + cost;
+        inject_backlog +=
+            config_.cost.occupancy_us(bytes + net::kHeaderBytes);
+      }
     }
     maybe_collect_garbage();
     start_prefetch_rounds();
@@ -283,6 +304,7 @@ void DsmSystem::barrier() {
     router_->transport().quiesce();
     if (tracer_ != nullptr) tracer_->drain_all();
     std::fill(bar_ctx_arrived_.begin(), bar_ctx_arrived_.end(), 0);
+    std::fill(bar_ctx_ready_.begin(), bar_ctx_ready_.end(), 0.0);
     bar_arrived_ = 0;
     bar_max_arrival_ = 0;
     ++bar_generation_;
@@ -294,6 +316,77 @@ void DsmSystem::barrier() {
   clk.skip_cpu();
   OMSP_TRACE_EVENT(kBarrierWait, cid, mygen, 0, std::uint16_t{0},
                    clk.now_us() - wait_t0);
+}
+
+void DsmSystem::coll_stage(ContextId sender, std::uint32_t level,
+                           ContextId leader, std::size_t wire_bytes) {
+  router_->stats(sender).add(Counter::kCollStages);
+  router_->stats(sender).add(Counter::kCollBytes, wire_bytes);
+  OMSP_TRACE_EVENT(kCollStage, sender, wire_bytes,
+                   (static_cast<std::uint64_t>(level) << 32) | leader);
+}
+
+void DsmSystem::tree_barrier_episode() {
+  // Modeled entirely by the last-arriving thread under bar_mutex_: the
+  // traversal order — and therefore every counter bump and every draw a
+  // seeded transport makes — is a pure function of the schedule, not of
+  // host thread arrival order.
+  const std::uint32_t nc = config_.num_contexts();
+  const coll::Schedule sched = coll::Schedule::tree(
+      config_.topology, nc,
+      [this](std::uint32_t m) { return config_.node_of_context(m); });
+
+  // Up pass (post-order): each context forwards to its leader every record
+  // the leader still lacks — its own closed interval plus anything that
+  // reached it sideways (lock grants close third-party intervals) — and
+  // leaders merge before forwarding, so context 0 ends with the global
+  // union exactly as the centralized manager does. A leader's fan-in
+  // serializes on its downlink: child i queues behind the occupancy of the
+  // i earlier arrivals (zero with the default cost knobs).
+  std::vector<double> ready = bar_ctx_ready_;
+  std::vector<double> sink_backlog(nc, 0.0);
+  for (const std::uint32_t m : sched.up_order()) {
+    if (sched.parent(m) < 0) continue;
+    const auto parent = static_cast<ContextId>(sched.parent(m));
+    auto recs =
+        contexts_[m]->records_unknown_to(contexts_[parent]->vt_snapshot());
+    const std::size_t bytes = vt_wire_size() + records_wire_size(recs);
+    const double cost = notify(m, parent, MsgType::kBarrierArrival, bytes);
+    const auto notices = records_notice_count(recs);
+    router_->stats(m).add(Counter::kWriteNoticesSent, notices);
+    if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, m, notices);
+    coll_stage(m, sched.level(m), parent, bytes + net::kHeaderBytes);
+    contexts_[parent]->apply_records(recs);
+    ready[parent] =
+        std::max(ready[parent], ready[m] + sink_backlog[parent] + cost);
+    sink_backlog[parent] += config_.cost.occupancy_us(bytes + net::kHeaderBytes);
+  }
+
+  const double depart = ready[0] + config_.cost.barrier_service_us;
+  bar_departure_time_[0] = depart;
+
+  // Down pass (pre-order, far subtrees first): each leader pushes every
+  // record a child still lacks. After its departure message a context holds
+  // the full union — the same post-barrier state the centralized path
+  // establishes — so prefetch batches and GC run unchanged on top.
+  std::vector<double> inject_backlog(nc, 0.0);
+  for (const std::uint32_t m : sched.down_order()) {
+    if (sched.parent(m) < 0) continue;
+    const auto parent = static_cast<ContextId>(sched.parent(m));
+    auto recs =
+        contexts_[parent]->records_unknown_to(contexts_[m]->vt_snapshot());
+    const std::size_t bytes = vt_wire_size() + records_wire_size(recs);
+    const double cost = notify(parent, m, MsgType::kBarrierDeparture, bytes);
+    const auto notices = records_notice_count(recs);
+    router_->stats(parent).add(Counter::kWriteNoticesSent, notices);
+    if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, parent, notices);
+    coll_stage(parent, sched.level(m), parent, bytes + net::kHeaderBytes);
+    contexts_[m]->apply_records(recs);
+    bar_departure_time_[m] =
+        bar_departure_time_[parent] + inject_backlog[parent] + cost;
+    inject_backlog[parent] +=
+        config_.cost.occupancy_us(bytes + net::kHeaderBytes);
+  }
 }
 
 double DsmSystem::grant_lock(LockId l, LockState& st, ContextId to_ctx,

@@ -137,6 +137,15 @@ private:
   // TreadMarks-style GC, run by the barrier manager when stored diffs exceed
   // the configured threshold: validate everything, then drop history.
   void maybe_collect_garbage();
+  // Tree-mode barrier episode (config_.coll.tree): reduce interval records
+  // up the topology-derived leader tree, broadcast departures down it. Runs
+  // entirely on the last-arriving thread under bar_mutex_, so the traversal
+  // order — and every draw from a seeded transport — is a pure function of
+  // the schedule.
+  void tree_barrier_episode();
+  // Counter + trace bookkeeping for one traversed schedule edge (tree mode).
+  void coll_stage(ContextId sender, std::uint32_t level, ContextId leader,
+                  std::size_t wire_bytes);
   // Transfer lock `l` (state `st`) from st.cached_at to (to_ctx,to_rank);
   // computes the grant time. locks_mutex_ held.
   double grant_lock(LockId l, LockState& st, ContextId to_ctx, Rank to_rank);
@@ -192,6 +201,9 @@ private:
   std::vector<IntervalRecord> bar_pending_arrivals_;
   std::vector<double> bar_departure_time_; // per context
   double bar_max_arrival_ = 0;
+  // Tree mode: per context, the virtual time its last thread reached the
+  // barrier — the earliest the context can send its arrival up the tree.
+  std::vector<double> bar_ctx_ready_;
 
   // Lock table.
   std::mutex locks_mutex_;

@@ -71,6 +71,14 @@ enum class EventKind : std::uint16_t {
                      // the acked notice; ctx = the acking side
                      // (kAcksSent += 1; the ack's own kMessage event is
                      // emitted by account() like any wire message)
+  kCollStage,        // counter-bearing: one edge of a hierarchical collective
+                     // schedule traversed (tree mode only); arg0 = wire
+                     // bytes, arg1 = (level<<32)|leader where level is the
+                     // topology stage the edge crosses and leader is the
+                     // receiving (up pass) or sending (down pass) leader;
+                     // ctx = the sender (kCollStages += 1,
+                     // kCollBytes += arg0). The message's own kMessage event
+                     // is emitted by account() like any wire message.
   kCount
 };
 
@@ -92,7 +100,7 @@ inline const char* event_name(EventKind k) {
                "barrier_wait",   "diff_fetch",   "gc_episode",
                "region_begin",   "region_end",   "diff_fetch_async",
                "prefetch_batch", "prefetch_hit", "message_lost",
-               "retransmit",     "ack"};
+               "retransmit",     "ack",          "coll_stage"};
   return names[static_cast<std::size_t>(k)];
 }
 

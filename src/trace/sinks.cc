@@ -123,6 +123,12 @@ void append_args(std::string& out, const Event& e) {
                   net::msg_name(net::message_type_of_arg1(e.arg1)),
                   net::message_dst_of_arg1(e.arg1));
     break;
+  case EventKind::kCollStage:
+    std::snprintf(buf, sizeof buf,
+                  "{\"bytes\":%" PRIu64 ",\"level\":%" PRIu64
+                  ",\"leader\":%" PRIu64 "}",
+                  e.arg0, e.arg1 >> 32, e.arg1 & 0xFFFFFFFFull);
+    break;
   default:
     std::snprintf(buf, sizeof buf, "{\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64
                   "}",
@@ -268,6 +274,10 @@ StatsSnapshot reconstruct_counters(const std::vector<Event>& events) {
       break;
     case EventKind::kAck:
       s[Counter::kAcksSent] += 1;
+      break;
+    case EventKind::kCollStage:
+      s[Counter::kCollStages] += 1;
+      s[Counter::kCollBytes] += e.arg0;
       break;
     case EventKind::kLockGrant:
     case EventKind::kBarrierWait:

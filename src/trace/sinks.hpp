@@ -32,7 +32,9 @@ inline constexpr char kTraceMagic[8] = {'O', 'M', 'S', 'P',
 // kDiffFetchAsync/kPrefetchBatch/kPrefetchHit and the prefetch counters.
 // Version 4: adds the reliable-delivery kinds kMessageLost/kRetransmit/kAck
 // and the msgs_lost/retransmits/acks_sent counters (lossy transport).
-inline constexpr std::uint32_t kTraceVersion = 4;
+// Version 5: adds the hierarchical-collectives kind kCollStage (arg0 = wire
+// bytes, arg1 = (level<<32)|leader) and the coll_stages/coll_bytes counters.
+inline constexpr std::uint32_t kTraceVersion = 5;
 
 struct TraceFile {
   std::vector<Event> events;

@@ -53,9 +53,13 @@ void cmd_summary(const TraceFile& tf) {
     std::uint64_t lost = 0, rexmit = 0; // reliability layer, per type
     double lat_sum = 0, lat_max = 0; // modeled one-way cost (dur_us)
   };
+  struct CollLevel {
+    std::uint64_t stages = 0, bytes = 0;
+  };
   std::map<EventKind, std::uint64_t> by_kind;
   std::map<ContextId, std::uint64_t> by_ctx;
   std::map<net::MsgType, MsgRow> by_msg;
+  std::map<std::uint64_t, CollLevel> coll_levels; // level -> stage traffic
   std::uint64_t losses = 0, rexmits = 0, acks = 0;
   double rto_wait = 0; // total modeled time spent in retransmission timers
   double tmax = 0;
@@ -80,6 +84,10 @@ void cmd_summary(const TraceFile& tf) {
       rto_wait += e.dur_us;
     } else if (e.kind == EventKind::kAck) {
       ++acks;
+    } else if (e.kind == EventKind::kCollStage) {
+      CollLevel& lvl = coll_levels[e.arg1 >> 32];
+      ++lvl.stages;
+      lvl.bytes += e.arg0;
     }
   }
   std::printf("%zu events, %" PRIu64 " dropped, %.1f us of virtual time\n\n",
@@ -104,6 +112,21 @@ void cmd_summary(const TraceFile& tf) {
     std::printf("\nreliability: %" PRIu64 " lost, %" PRIu64
                 " retransmits (%.1f us in RTO timers), %" PRIu64 " acks\n",
                 losses, rexmits, rto_wait, acks);
+  if (!coll_levels.empty()) {
+    std::uint64_t stages = 0;
+    for (const auto& [level, row] : coll_levels) stages += row.stages;
+    // A root-to-leaf path crosses each stage level at most once, in
+    // decreasing order, so the deepest tree has one hop per distinct level
+    // observed — the distinct-level count is the max tree depth.
+    std::printf("\ncollectives: %" PRIu64
+                " stage messages, max tree depth %zu (top stage level %"
+                PRIu64 ")\n",
+                stages, coll_levels.size(), coll_levels.rbegin()->first);
+    std::printf("%-18s %12s %12s\n", "level", "stages", "bytes");
+    for (const auto& [level, row] : coll_levels)
+      std::printf("level%-13" PRIu64 " %12" PRIu64 " %12" PRIu64 "\n", level,
+                  row.stages, row.bytes);
+  }
   std::printf("\n%-18s %12s\n", "context", "events");
   for (const auto& [ctx, n] : by_ctx)
     std::printf("ctx%-15u %12" PRIu64 "\n", ctx, n);

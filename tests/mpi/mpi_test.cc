@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "../common/env_guard.hpp"
 #include "mpi/mpi.hpp"
 
 namespace omsp::mpi {
@@ -385,6 +386,133 @@ TEST(MpiTopology, AsymmetricNodesClassifyTraffic) {
   auto s = w.stats();
   EXPECT_EQ(s[Counter::kMsgsSent], 2u);
   EXPECT_EQ(s[Counter::kMsgsOffNode], 1u);
+}
+
+TEST(MpiColl, FusedAllreduceFlatExactCost) {
+  // The fused flat allreduce is one star traversal each way: leaves send at
+  // t=0, the root absorbs the last arrival at h, combines, and fans the
+  // result back out — every rank finishes at exactly 2h. The old
+  // reduce-then-bcast chained two binomial trees (2 * ceil(log2 p) = 4
+  // dependent hops for p=4), so this pins the latency halving.
+  const test::ScopedEnvClear env_guard; // CI matrices export OMSP_COLL
+  sim::CostModel m = sim::CostModel::sp2_default();
+  m.cpu_scale = 0; // makespan is a pure model output
+  const auto topo = sim::Topology::flat_switch(4, 1);
+  const double h =
+      topo.message_us(m, sizeof(double) + net::kHeaderBytes, 0, 1);
+  MpiWorld w(topo, m);
+  w.run([](Comm& c) {
+    double v = static_cast<double>(c.rank() + 1);
+    c.allreduce(&v, 1, std::plus<double>{});
+    EXPECT_DOUBLE_EQ(v, 10.0);
+  });
+  EXPECT_DOUBLE_EQ(w.makespan_us(), 2 * h);
+  // Star both ways: 2 * (p - 1) messages, same count as reduce + bcast.
+  EXPECT_EQ(w.stats()[Counter::kMsgsSent], 6u);
+}
+
+TEST(MpiColl, TreeCollectivesMatchValues) {
+  // Every rewired collective must agree with the flat algorithms bit-for-bit
+  // on values; flat_max_bytes = 0 forces the hierarchy for every payload.
+  const test::ScopedEnvClear env_guard;
+  coll::Options opts;
+  opts.tree = true;
+  opts.flat_max_bytes = 0;
+  MpiWorld w(sim::Topology::fat_tree(2, 2, 2), sim::CostModel::zero());
+  w.set_coll(opts);
+  w.run([](Comm& c) {
+    const int p = c.size();
+    c.barrier();
+
+    std::vector<double> buf(64, 0.0);
+    if (c.rank() == 3)
+      for (int i = 0; i < 64; ++i) buf[i] = 300.0 + i;
+    c.bcast(3, buf.data(), buf.size() * sizeof(double));
+    for (int i = 0; i < 64; ++i) ASSERT_DOUBLE_EQ(buf[i], 300.0 + i);
+
+    std::vector<long> v(10);
+    for (int i = 0; i < 10; ++i) v[i] = c.rank() * 10 + i;
+    c.reduce(2, v.data(), v.size(), std::plus<long>{});
+    if (c.rank() == 2) {
+      const long rsum = long{p} * (p - 1) / 2;
+      for (int i = 0; i < 10; ++i) ASSERT_EQ(v[i], 10 * rsum + p * i);
+    }
+
+    long a = c.rank() + 1;
+    c.allreduce(&a, 1, std::plus<long>{});
+    EXPECT_EQ(a, long{p} * (p + 1) / 2);
+
+    std::vector<long> all(p, -1);
+    long mine = long{c.rank()} * c.rank();
+    c.allgather(&mine, all.data(), 1);
+    for (int r = 0; r < p; ++r) ASSERT_EQ(all[r], long{r} * r);
+  });
+}
+
+TEST(MpiColl, TreeBcastSegmentsLargePayload) {
+  // Payloads above flat_max_bytes take the hierarchy in segment_bytes
+  // slices; the reassembled buffer must be intact on every rank.
+  const test::ScopedEnvClear env_guard;
+  coll::Options opts;
+  opts.tree = true;
+  opts.flat_max_bytes = 1024;
+  opts.segment_bytes = 4096;
+  MpiWorld w(sim::Topology::fat_tree(2, 2, 2), sim::CostModel::zero());
+  w.set_coll(opts);
+  w.run([](Comm& c) {
+    std::vector<int> buf(25000, -1); // 100 KB: 25 segments
+    if (c.rank() == 5)
+      for (std::size_t i = 0; i < buf.size(); ++i)
+        buf[i] = static_cast<int>(i * 3);
+    c.bcast(5, buf.data(), buf.size() * sizeof(int));
+    for (std::size_t i = 0; i < buf.size(); ++i)
+      ASSERT_EQ(buf[i], static_cast<int>(i * 3));
+  });
+}
+
+TEST(MpiColl, TreeBarrierBeatsDisseminationOnFatTree) {
+  // 32 ranks on fat:2x4x2: dissemination chains ceil(log2 32) = 5 rounds of
+  // mostly spine-crossing exchanges; the hierarchical barrier crosses the
+  // spine once up and once down. Strictly cheaper in modeled time.
+  const test::ScopedEnvClear env_guard;
+  sim::CostModel m = sim::CostModel::sp2_default();
+  m.cpu_scale = 0;
+  auto barrier_us = [&m](bool tree) {
+    MpiWorld w(sim::Topology::fat_tree(2, 4, 2), m);
+    coll::Options opts;
+    opts.tree = tree;
+    w.set_coll(opts);
+    w.run([](Comm& c) { c.barrier(); });
+    return w.makespan_us();
+  };
+  const double central = barrier_us(false);
+  const double tree = barrier_us(true);
+  EXPECT_LT(tree, central);
+}
+
+TEST(MpiColl, CollStageCountersGatedByMode) {
+  // Central mode keeps the seed counter stream untouched; tree mode emits
+  // one kCollStages tick (and the wire bytes) per schedule edge message.
+  const test::ScopedEnvClear env_guard;
+  auto run_mode = [](bool tree) {
+    coll::Options opts;
+    opts.tree = tree;
+    opts.flat_max_bytes = 0;
+    MpiWorld w(sim::Topology::fat_tree(2, 2, 2), sim::CostModel::zero());
+    w.set_coll(opts);
+    w.run([](Comm& c) {
+      long v = c.rank();
+      c.allreduce(&v, 1, std::plus<long>{});
+    });
+    return w.stats();
+  };
+  const auto central = run_mode(false);
+  EXPECT_EQ(central[Counter::kCollStages], 0u);
+  EXPECT_EQ(central[Counter::kCollBytes], 0u);
+  const auto tree = run_mode(true);
+  // Fused tree allreduce: p - 1 = 7 edges up, 7 down.
+  EXPECT_EQ(tree[Counter::kCollStages], 14u);
+  EXPECT_GT(tree[Counter::kCollBytes], 14u * net::kHeaderBytes);
 }
 
 TEST(MpiLoss, SeededLossDeterministicMakespan) {
