@@ -5,7 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <memory>
 
+#include "common/buffer_pool.hpp"
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
 #include "tmk/diff.hpp"
@@ -40,8 +43,23 @@ void BM_DiffCreate(benchmark::State& state) {
     benchmark::DoNotOptimize(d);
   }
   state.SetBytesProcessed(state.iterations() * kPageSize);
+  state.SetLabel(diff_kernel_name());
 }
 BENCHMARK(BM_DiffCreate)->Arg(0)->Arg(5)->Arg(25)->Arg(100);
+
+// The pre-PR word-at-a-time encoder, kept callable as create_diff_scalar():
+// the ratio BM_DiffCreateScalar / BM_DiffCreate at each dirtiness level is
+// the SIMD speedup recorded in BENCH_pr8.json.
+void BM_DiffCreateScalar(benchmark::State& state) {
+  alignas(64) std::uint8_t twin[kPageSize], cur[kPageSize];
+  make_pair(twin, cur, state.range(0) / 100.0, 8);
+  for (auto _ : state) {
+    auto d = create_diff_scalar(twin, cur);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() * kPageSize);
+}
+BENCHMARK(BM_DiffCreateScalar)->Arg(0)->Arg(5)->Arg(25)->Arg(100);
 
 void BM_DiffApply(benchmark::State& state) {
   alignas(64) std::uint8_t twin[kPageSize], cur[kPageSize], dst[kPageSize];
@@ -57,6 +75,74 @@ void BM_DiffApply(benchmark::State& state) {
 }
 BENCHMARK(BM_DiffApply)->Arg(5)->Arg(25)->Arg(100);
 
+// Run-heavy sparse page: 25% of the bytes dirty but shattered over 64 runs —
+// the per-run (header decode + bounds check + short copy) overhead dominates,
+// which is what the checked run-iterator and copy_run fast paths optimize.
+void BM_DiffApplyRunHeavy(benchmark::State& state) {
+  alignas(64) std::uint8_t twin[kPageSize], cur[kPageSize], dst[kPageSize];
+  make_pair(twin, cur, 0.25, 64);
+  const auto d = create_diff(twin, cur);
+  std::memcpy(dst, twin, kPageSize);
+  for (auto _ : state) {
+    apply_diff(d, dst);
+    benchmark::DoNotOptimize(dst);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(diff_patch_bytes(d)));
+}
+BENCHMARK(BM_DiffApplyRunHeavy);
+
+// The pre-PR apply loop, embedded verbatim (checks included, out of line so
+// the call boundary matches the library function) as the wall-clock reference
+// for BM_DiffApply. It also documents the bounds bug this PR fixes: no
+// offset+length <= page_size check before the memcpy.
+__attribute__((noinline)) void apply_diff_ref(std::span<const std::uint8_t> diff,
+                                              std::uint8_t* dst) {
+  struct RunHeader {
+    std::uint16_t offset;
+    std::uint16_t length;
+  };
+  std::size_t pos = 0;
+  while (pos < diff.size()) {
+    OMSP_CHECK_MSG(pos + sizeof(RunHeader) <= diff.size(),
+                   "truncated diff header");
+    RunHeader h;
+    std::memcpy(&h, diff.data() + pos, sizeof(h));
+    pos += sizeof(h);
+    OMSP_CHECK_MSG(pos + h.length <= diff.size(), "truncated diff run");
+    std::memcpy(dst + h.offset, diff.data() + pos, h.length);
+    pos += h.length;
+  }
+}
+
+void BM_DiffApplyRefRunHeavy(benchmark::State& state) {
+  alignas(64) std::uint8_t twin[kPageSize], cur[kPageSize], dst[kPageSize];
+  make_pair(twin, cur, 0.25, 64);
+  const auto d = create_diff(twin, cur);
+  std::memcpy(dst, twin, kPageSize);
+  for (auto _ : state) {
+    apply_diff_ref(d, dst);
+    benchmark::DoNotOptimize(dst);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(diff_patch_bytes(d)));
+}
+BENCHMARK(BM_DiffApplyRefRunHeavy);
+
+void BM_DiffApplyRef(benchmark::State& state) {
+  alignas(64) std::uint8_t twin[kPageSize], cur[kPageSize], dst[kPageSize];
+  make_pair(twin, cur, state.range(0) / 100.0, 8);
+  const auto d = create_diff(twin, cur);
+  std::memcpy(dst, twin, kPageSize);
+  for (auto _ : state) {
+    apply_diff_ref(d, dst);
+    benchmark::DoNotOptimize(dst);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(diff_patch_bytes(d)));
+}
+BENCHMARK(BM_DiffApplyRef)->Arg(5)->Arg(25)->Arg(100);
+
 void BM_TwinCopy(benchmark::State& state) {
   alignas(64) std::uint8_t src[kPageSize], dst[kPageSize];
   std::memset(src, 0x5a, sizeof src);
@@ -67,6 +153,28 @@ void BM_TwinCopy(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * kPageSize);
 }
 BENCHMARK(BM_TwinCopy);
+
+// Twin provisioning: pooled blocks (arg 1, what the write-fault path does
+// now) against a fresh zeroed allocation per twin (arg 0, the pre-PR path).
+void BM_TwinProvision(benchmark::State& state) {
+  alignas(64) std::uint8_t src[kPageSize];
+  std::memset(src, 0x5a, sizeof src);
+  PagePool pool(kPageSize);
+  const bool pooled = state.range(0) != 0;
+  for (auto _ : state) {
+    if (pooled) {
+      auto twin = pool.acquire();
+      std::memcpy(twin.get(), src, kPageSize);
+      benchmark::DoNotOptimize(twin.get());
+    } else {
+      auto twin = std::make_unique<std::uint8_t[]>(kPageSize);
+      std::memcpy(twin.get(), src, kPageSize);
+      benchmark::DoNotOptimize(twin.get());
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * kPageSize);
+}
+BENCHMARK(BM_TwinProvision)->Arg(0)->Arg(1)->ArgName("pooled");
 
 void BM_SerializeRecords(benchmark::State& state) {
   std::vector<IntervalRecord> recs;
@@ -109,6 +217,36 @@ void BM_FaultFetchRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FaultFetchRoundTrip)->Unit(benchmark::kMicrosecond);
+
+// Intra-node fault/fetch with the zero-copy switch (OMSP_ZEROCOPY): two
+// contexts on ONE node, so the reply payload is eligible for view delivery.
+// Host time is the quantity zero-copy optimizes; every modeled number is
+// asserted bit-for-bit elsewhere (zerocopy_test.cc).
+void BM_IntraNodeFetchZeroCopy(benchmark::State& state) {
+  Config cfg;
+  cfg.topology = sim::Topology(1, 2); // one node, two procs
+  cfg.mode = Mode::kProcess;          // two contexts, same node
+  cfg.cost = sim::CostModel::zero();
+  cfg.heap_bytes = 1u << 20;
+  cfg.zerocopy.enabled = state.range(0) != 0;
+  DsmSystem dsm(cfg);
+  auto data = dsm.alloc_page_aligned<long>(512);
+  long expect = 0;
+  for (auto _ : state) {
+    ++expect;
+    dsm.parallel([&](Rank r) {
+      if (r == 0) data[0] = expect;
+      dsm.barrier();
+      if (r == 1) benchmark::DoNotOptimize(data[0]);
+    });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntraNodeFetchZeroCopy)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("zerocopy")
+    ->Unit(benchmark::kMicrosecond);
 
 // Multi-writer fetch: four writers each dirty a quarter of one falsely
 // shared page; the post-barrier read faults once and fetches diffs from all

@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
 # Bench smoke: run the evaluation benches at CI problem sizes, merge their
-# machine-readable rows into BENCH_pr7.json, and fail if message counts
+# machine-readable rows into BENCH_pr8.json, and fail if message counts
 # drifted vs the committed baseline under the default (inline, synchronous)
-# transport.
+# transport. Each bench row also records its host WALL-CLOCK seconds
+# ("wall_clock_s") — modeled results answer "is the simulation right",
+# the wall-clock column answers "how long does the simulator itself take",
+# which is what the SIMD/pooling/zero-copy work (ISSUE 8) optimizes. The
+# diff-kernel microbenchmarks (scalar vs SIMD create, apply, twin
+# provisioning, intra-node zero-copy fetch) are folded in under
+# "micro_diff_kernels" when bench/micro_dsm is built.
 #
 #   scripts/bench_smoke.sh [--build-dir <dir>] [--out <file>] [--update-baseline]
 #
@@ -28,7 +34,7 @@
 set -euo pipefail
 
 BUILD_DIR=build
-OUT=BENCH_pr7.json
+OUT=BENCH_pr8.json
 UPDATE=0
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -78,19 +84,48 @@ if [ -x "$BUILD_DIR/src/trace/omsp-trace" ]; then
   echo "no-loss baseline: zero losses/retransmits/acks"
 fi
 
+# Host wall-clock per bench (the column ISSUE 8's host-side optimizations
+# move; modeled numbers in the same rows must not move at all).
+wallclock() { # wallclock <name> <cmd...>
+  local name=$1; shift
+  local t0 t1
+  t0=$(date +%s.%N)
+  "$@"
+  t1=$(date +%s.%N)
+  printf '%s %s\n' "$name" "$(echo "$t0 $t1" | awk '{printf "%.3f", $2-$1}')" \
+      >> "$TMP/wallclock.txt"
+}
+: > "$TMP/wallclock.txt"
+
 echo "== table2_traffic --smoke =="
-"$BUILD_DIR/bench/table2_traffic" --smoke --json "$TMP/table2.json"
+wallclock table2_traffic \
+    "$BUILD_DIR/bench/table2_traffic" --smoke --json "$TMP/table2.json"
 echo "== fig1_speedup --smoke =="
-"$BUILD_DIR/bench/fig1_speedup" --smoke --json "$TMP/fig1.json"
+wallclock fig1_speedup \
+    "$BUILD_DIR/bench/fig1_speedup" --smoke --json "$TMP/fig1.json"
 
 echo "== speedup_curve --scale (seeds 1-3) =="
 for s in 1 2 3; do
-  "$BUILD_DIR/bench/speedup_curve" --smoke --scale --seed "$s" \
+  wallclock "speedup_curve_seed$s" \
+      "$BUILD_DIR/bench/speedup_curve" --smoke --scale --seed "$s" \
       --json "$TMP/scale_seed$s.json" > "$TMP/scale_seed$s.txt"
 done
 # Determinism proof: the seed-1 MPI curves must be bit-identical on a rerun.
 "$BUILD_DIR/bench/speedup_curve" --smoke --scale --seed 1 \
     --json "$TMP/scale_seed1_rerun.json" >/dev/null
+
+# Diff-kernel microbenches (host nanoseconds): scalar vs SIMD create, the
+# checked apply vs the pre-PR loop, pooled twin provisioning, zero-copy vs
+# copy-in intra-node fetch. Medians over 5 repetitions with random
+# interleaving so the scalar/SIMD ratio is robust to frequency drift.
+if [ -x "$BUILD_DIR/bench/micro_dsm" ]; then
+  echo "== micro_dsm diff kernels =="
+  "$BUILD_DIR/bench/micro_dsm" \
+      --benchmark_filter='BM_Diff|BM_Twin|BM_IntraNode' \
+      --benchmark_repetitions=5 --benchmark_enable_random_interleaving=true \
+      --benchmark_report_aggregates_only=true \
+      --benchmark_format=json > "$TMP/micro.json"
+fi
 
 python3 - "$TMP" "$OUT" "$BASELINE" "$UPDATE" <<'EOF'
 import json, os, sys
@@ -138,11 +173,59 @@ if not small["allreduce8_flat_us"] < small["allreduce8_tree_us"]:
 print("collectives: tree beats central/flat at 64 and 256 nodes "
       "(barrier + 64K allreduce); 8-byte crossover intact")
 
+# Host wall-clock per bench run, written by the wallclock() wrapper.
+wall = {}
+try:
+    for line in open(f"{tmp}/wallclock.txt"):
+        name, secs = line.split()
+        wall[name] = float(secs)
+except FileNotFoundError:
+    pass
+
+# Diff-kernel microbench medians + scalar/SIMD throughput ratios.
+micro = None
+if os.path.exists(f"{tmp}/micro.json"):
+    raw = json.load(open(f"{tmp}/micro.json"))
+    med, label = {}, {}
+    for b in raw["benchmarks"]:
+        if b.get("aggregate_name") == "median":
+            med[b["run_name"]] = b["real_time"]
+            if b.get("label"):
+                label[b["run_name"]] = b["label"]
+    def ratio(a, b):
+        return round(med[a] / med[b], 2) if a in med and b in med else None
+    micro = {
+        "kernel": label.get("BM_DiffCreate/5", "unknown"),
+        "median_ns": {k: round(v, 1) for k, v in sorted(med.items())},
+        "create_scalar_over_simd": {
+            f"{p}pct": ratio(f"BM_DiffCreateScalar/{p}", f"BM_DiffCreate/{p}")
+            for p in (0, 5, 25, 100)},
+        "apply_prepr_over_new": {
+            f"{p}pct": ratio(f"BM_DiffApplyRef/{p}", f"BM_DiffApply/{p}")
+            for p in (5, 25, 100)},
+        "twin_unpooled_over_pooled":
+            ratio("BM_TwinProvision/pooled:0", "BM_TwinProvision/pooled:1"),
+        "fetch_copy_over_zerocopy":
+            ratio("BM_IntraNodeFetchZeroCopy/zerocopy:0",
+                  "BM_IntraNodeFetchZeroCopy/zerocopy:1"),
+    }
+    c5 = micro["create_scalar_over_simd"]["5pct"]
+    c25 = micro["create_scalar_over_simd"]["25pct"]
+    if micro["kernel"] != "portable64" and (c5 is None or c5 < 2.0
+                                            or c25 is None or c25 < 2.0):
+        print(f"micro_dsm: SIMD create speedup below 2x on sparse pages "
+              f"(5%: {c5}, 25%: {c25})", file=sys.stderr)
+        sys.exit(1)
+    print(f"diff kernels [{micro['kernel']}]: create scalar/SIMD "
+          f"5%={c5}x 25%={c25}x")
+
 merged = {
     "generated_by": "scripts/bench_smoke.sh",
     "transport": "inline (default)",
     "topology": topo,
     "coll": coll or "central",
+    "wall_clock_s": wall,
+    "micro_diff_kernels": micro,
     "table2_traffic": table2,
     "fig1_speedup": fig1,
     "speedup_curve_scale": scale,

@@ -1,0 +1,122 @@
+// Free-list pools for the allocation-heavy hot paths (ISSUE 8): twin pages
+// (one 4 KB block per write fault) and byte-vector scratch (diff encoding,
+// envelope payloads, serialization buffers). Neither pool changes any
+// modeled number — they only recycle host memory that used to come from the
+// allocator each time.
+//
+// Thread safety: both pools take a mutex per acquire/release. The hot paths
+// that use them are per-context (twins) or per-transport-worker (payload
+// scratch), so contention is between a handful of threads at page-fault
+// frequency — far below the allocator traffic they replace.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace omsp {
+
+// Fixed-size block pool. acquire() hands out a unique_ptr whose deleter
+// returns the block to the pool (so existing unique_ptr-holding code keeps
+// its ownership discipline); blocks are created zero-initialized exactly
+// like the make_unique<uint8_t[]>(n) calls they replace, and REMAIN zeroed
+// on reuse is NOT guaranteed — callers that need defined contents must fill
+// the block (every twin is memcpy-filled immediately).
+class PagePool {
+ public:
+  explicit PagePool(std::size_t block_bytes) : block_bytes_(block_bytes) {}
+
+  PagePool(const PagePool&) = delete;
+  PagePool& operator=(const PagePool&) = delete;
+
+  class Deleter {
+   public:
+    Deleter() = default;
+    explicit Deleter(PagePool* pool) : pool_(pool) {}
+    void operator()(std::uint8_t* p) const {
+      if (pool_ != nullptr)
+        pool_->release(p);
+      else
+        delete[] p;
+    }
+
+   private:
+    PagePool* pool_ = nullptr;
+  };
+  using Handle = std::unique_ptr<std::uint8_t[], Deleter>;
+
+  // A handle's deleter points back at this pool: the pool must outlive every
+  // handle it produced (declare the pool before the structures holding the
+  // handles).
+  Handle acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        std::uint8_t* p = free_.back().release();
+        free_.pop_back();
+        return Handle(p, Deleter(this));
+      }
+    }
+    return Handle(new std::uint8_t[block_bytes_](), Deleter(this));
+  }
+
+  std::size_t block_bytes() const { return block_bytes_; }
+
+  std::size_t free_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  void release(std::uint8_t* p) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.emplace_back(p);
+  }
+
+  const std::size_t block_bytes_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<std::uint8_t[]>> free_;
+};
+
+// Byte-vector pool: recycles the backing capacity of std::vector<uint8_t>
+// scratch buffers. acquire() returns a cleared vector (size 0) with
+// whatever capacity its previous life grew; release() takes the vector
+// back. Dropping a vector on the floor instead of releasing it is safe —
+// the pool just re-grows.
+class BufferPool {
+ public:
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  std::vector<std::uint8_t> acquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.empty()) return {};
+    std::vector<std::uint8_t> v = std::move(free_.back());
+    free_.pop_back();
+    v.clear();
+    return v;
+  }
+
+  void release(std::vector<std::uint8_t>&& v) {
+    if (v.capacity() == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.size() < kMaxFree) free_.push_back(std::move(v));
+  }
+
+  std::size_t free_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  // Bounds pool growth under bursts (e.g. a barrier flushing every dirty
+  // page at once): beyond this the excess vectors go back to the allocator.
+  static constexpr std::size_t kMaxFree = 256;
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::uint8_t>> free_;
+};
+
+} // namespace omsp

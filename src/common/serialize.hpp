@@ -87,6 +87,7 @@ public:
 
   void get_bytes(void* out, std::size_t n) {
     OMSP_CHECK_MSG(pos_ + n <= size_, "ByteReader underflow");
+    if (n == 0) return; // out may be null for an empty span (vector::data())
     std::memcpy(out, data_ + pos_, n);
     pos_ += n;
   }

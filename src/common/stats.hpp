@@ -54,6 +54,8 @@ enum class Counter : std::size_t {
   kAcksSent,            // explicit ack messages for reliable notice channels
   kCollStages,          // hierarchical-collective schedule edges traversed
   kCollBytes,           // wire bytes carried across those schedule edges
+  kZeroCopyDeliveries,  // same-node payloads handed over as views, no copy
+  kZeroCopyBytes,       // payload bytes those deliveries avoided copying
   kCount
 };
 
@@ -69,7 +71,8 @@ inline const char* counter_name(Counter c) {
                "full_page_fetches", "prefetch_batches",
                "prefetch_pages_fetched", "prefetch_hits",
                "msgs_lost",        "retransmits",     "acks_sent",
-               "coll_stages",      "coll_bytes"};
+               "coll_stages",      "coll_bytes",
+               "zerocopy_deliveries", "zerocopy_bytes"};
   return names[static_cast<std::size_t>(c)];
 }
 

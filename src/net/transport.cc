@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <string_view>
 
 #include "common/check.hpp"
 #include "net/router.hpp"
@@ -148,6 +149,32 @@ OverlapOptions OverlapOptions::from_env() {
 }
 
 // ---------------------------------------------------------------------------
+// ZeroCopyOptions
+
+ZeroCopyOptions ZeroCopyOptions::from_env() {
+  // OMSP_ZEROCOPY=off|on|<bytes>: "on" (or "1") views every eligible
+  // same-node payload; a number sets the XHC-style switchover threshold —
+  // payloads below it keep the copy path (small messages gain nothing from
+  // holding the backing buffer alive).
+  ZeroCopyOptions o;
+  const char* s = std::getenv("OMSP_ZEROCOPY");
+  if (s == nullptr || *s == '\0') return o;
+  const std::string_view v(s);
+  if (v == "off" || v == "0") return o;
+  if (v == "on" || v == "1") {
+    o.enabled = true;
+    return o;
+  }
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(s, &end, 10);
+  if (end != s && *end == '\0') {
+    o.enabled = true;
+    o.threshold_bytes = static_cast<std::size_t>(n);
+  }
+  return o;
+}
+
+// ---------------------------------------------------------------------------
 // QueuedTransport
 
 QueuedTransport::QueuedTransport(std::unique_ptr<Transport> inner,
@@ -192,6 +219,7 @@ QueuedTransport::call_async_with_dups(const Envelope& env,
   job.dst = env.dst;
   job.type = env.type;
   job.trace_flags = env.trace_flags;
+  job.payload = payload_pool_.acquire();
   job.payload.assign(env.payload.begin(), env.payload.end());
   job.arrive_us = (clock != nullptr ? clock->now_us() : 0) + req_cost;
 
@@ -215,6 +243,7 @@ QueuedTransport::call_async_with_dups(const Envelope& env,
     r.dst = d.env.dst;
     r.type = d.env.type;
     r.trace_flags = d.env.trace_flags;
+    r.payload = payload_pool_.acquire();
     r.payload.assign(d.env.payload.begin(), d.env.payload.end());
     r.arrive_us = job.arrive_us + std::max(0.0, d.delay_us);
     riders.push_back(std::move(r));
@@ -302,6 +331,7 @@ void QueuedTransport::service(ContextId dst, Job& job, Worker& w) {
   ByteWriter reply;
   ByteReader reader(std::span<const std::uint8_t>(job.payload.data(), job.payload.size()));
   handler->handle(job.src, job.type, reader, reply);
+  payload_pool_.release(std::move(job.payload));
 
   Envelope rep;
   rep.src = dst;

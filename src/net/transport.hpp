@@ -66,6 +66,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
 #include "common/types.hpp"
@@ -280,6 +281,23 @@ struct OverlapOptions {
   static OverlapOptions from_env();
 };
 
+// Zero-copy intra-node delivery (docs/PROTOCOL.md "Zero-copy intra-node
+// delivery"): when a request/reply's src and dst contexts share a physical
+// node and the serialized payload is at least threshold_bytes, the receiver
+// keeps the delivered buffer alive and parses diff payloads as views into it
+// instead of deserializing copies — the XHC-style zero-copy vs copy-in/
+// copy-out switch. A pure wall-clock optimization: modeled costs, message
+// accounting and every pre-existing counter are bit-for-bit identical to the
+// copy path (asserted by tests); only the zerocopy_* counters and the
+// kZeroCopyDeliver trace event are new, and they fire only when enabled.
+// OMSP_ZEROCOPY=off|on|<bytes> is the code-free enable ("on" = threshold 0).
+struct ZeroCopyOptions {
+  bool enabled = false;
+  std::size_t threshold_bytes = 0;
+
+  static ZeroCopyOptions from_env();
+};
+
 // Asynchronous delivery: one worker thread per destination context services
 // queued requests — the analogue of TreadMarks' SIGIO handler, which
 // interrupts the destination process and services one request at a time. A
@@ -383,6 +401,12 @@ private:
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> issue_seq_{0};
+
+  // Recycles Job payload buffers: every call_async copies the caller's
+  // serialized request into the job (the caller's ByteWriter dies before the
+  // worker runs), which used to be a fresh allocation per request. Workers
+  // release the payload back after service.
+  BufferPool payload_pool_;
 
   // quiesce(): callers wait until no queued or in-service job remains.
   std::mutex idle_mutex_;

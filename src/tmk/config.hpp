@@ -78,6 +78,14 @@ struct Config {
   // synchronous.
   net::OverlapOptions overlap;
 
+  // Zero-copy intra-node delivery (net::ZeroCopyOptions): same-node diff and
+  // page payloads are parsed as views into the delivered buffer instead of
+  // deserialized copies. Wall-clock only — modeled times and all pre-existing
+  // counters are bit-for-bit identical either way. Off by default;
+  // OMSP_ZEROCOPY=off|on|<bytes> overrides at DsmSystem construction when
+  // zerocopy.enabled is false.
+  net::ZeroCopyOptions zerocopy;
+
   // Collective engine (coll::Schedule): central keeps the seed's
   // manager-based barrier bit-for-bit; tree reduces arrivals up the
   // topology-derived leader tree and broadcasts departures down it

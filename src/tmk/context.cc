@@ -169,7 +169,9 @@ void DsmContext::set_prot(PageId p, Protection prot) {
 void DsmContext::make_twin(PageId p) {
   PageMeta& meta = pages_[p];
   OMSP_CHECK(meta.twin == nullptr);
-  meta.twin = std::make_unique<std::uint8_t[]>(kPageSize);
+  // Pooled block (recycled across twins); snapshot_page fills all of it, so
+  // stale contents from a previous life never matter.
+  meta.twin = twin_pool_.acquire();
   heap_.snapshot_page(p, meta.twin.get());
   stats_->add(Counter::kTwins);
   OMSP_TRACE_EVENT(kTwinCreate, id_, p);
@@ -200,11 +202,17 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
     IntervalSeq have;
     IntervalSeq want;
   };
+  // One fetched diff awaiting the final vt-sorted apply. `view` points at
+  // the diff payload: into `owned` on the copy path (vector moves preserve
+  // the heap pointer, so the span survives got.push_back), or into the
+  // shared reply buffer kept alive by `backing` on the zero-copy path.
   struct Got {
     std::uint64_t vtsum;
     IntervalSeq seq;
     ContextId creator;
-    std::vector<std::uint8_t> bytes;
+    DiffBytes owned;
+    std::shared_ptr<std::vector<std::uint8_t>> backing;
+    std::span<const std::uint8_t> view;
   };
 
   // Collect every diff first, apply once at the end: applying per fetch
@@ -213,6 +221,51 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
   // so all causally related pendings surface within this one fetch session
   // and a single global sort yields a correct order.
   std::vector<Got> got;
+
+  // Parse one kDiffRequest reply (shared by the sync and async rounds):
+  // apply the piggybacked records, park the diffs in `got`, return the
+  // highest interval tag now in hand. When the reply is zero-copy eligible
+  // the vector moves into a shared backing and every diff payload is a view
+  // into it — the serialize/deserialize round-trip's receive copy is
+  // skipped; otherwise each diff is copied out exactly as before. Called
+  // with no page lock held (apply_records takes page locks).
+  auto parse_reply = [&](std::vector<std::uint8_t>&& reply, ContextId creator,
+                         IntervalSeq have) -> IntervalSeq {
+    std::shared_ptr<std::vector<std::uint8_t>> backing;
+    const bool zc = zerocopy_eligible(creator, reply.size());
+    if (zc)
+      backing = std::make_shared<std::vector<std::uint8_t>>(std::move(reply));
+    ByteReader r(zc ? *backing : reply);
+    auto recs = deserialize_records(r);
+    if (!recs.empty()) apply_records(recs); // no page lock held
+    const auto floor = r.get<IntervalSeq>();
+    const auto count = r.get<std::uint32_t>();
+    IntervalSeq maxseq = std::max(have, floor);
+    std::uint64_t viewed = 0;
+    for (std::uint32_t j = 0; j < count; ++j) {
+      Got g;
+      g.seq = r.get<IntervalSeq>();
+      g.vtsum = r.get<std::uint64_t>();
+      g.creator = creator;
+      if (zc) {
+        const auto n = r.get<std::uint32_t>();
+        g.view = r.view_bytes(n);
+        g.backing = backing;
+        viewed += n;
+      } else {
+        g.owned = r.get_span<std::uint8_t>();
+        g.view = g.owned;
+      }
+      maxseq = std::max(maxseq, g.seq);
+      got.push_back(std::move(g));
+    }
+    if (zc) {
+      stats_->add(Counter::kZeroCopyDeliveries);
+      stats_->add(Counter::kZeroCopyBytes, viewed);
+      OMSP_TRACE_EVENT(kZeroCopyDeliver, id_, creator, viewed);
+    }
+    return maxseq;
+  };
   for (;;) {
     std::vector<Need> needs;
     VectorTime my_vt;
@@ -262,10 +315,11 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
             ready = std::max(ready, ent.ready_us);
             for (auto& d : ent.diffs) {
               if (d.seq <= nd.have) continue; // stale: already applied
-              used_bytes += d.bytes.size();
+              used_bytes += d.view.size();
               maxseq = std::max(maxseq, d.seq);
-              got.push_back(
-                  Got{d.vt_sum, d.seq, nd.creator, std::move(d.bytes)});
+              got.push_back(Got{d.vt_sum, d.seq, nd.creator,
+                                std::move(d.owned), std::move(d.backing),
+                                d.view});
             }
           }
           if (!matched) {
@@ -342,21 +396,8 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
         auto reply = pendings[i].wait_at(&complete); // no clock advance yet
         last_complete = std::max(last_complete, complete);
         total_bytes += reply.size();
-        ByteReader r(reply);
-        auto recs = deserialize_records(r);
-        if (!recs.empty()) apply_records(recs); // no page lock held
-        const auto floor = r.get<IntervalSeq>();
-        const auto count = r.get<std::uint32_t>();
-        IntervalSeq maxseq = std::max(need.have, floor);
-        for (std::uint32_t j = 0; j < count; ++j) {
-          Got g;
-          g.seq = r.get<IntervalSeq>();
-          g.vtsum = r.get<std::uint64_t>();
-          g.creator = need.creator;
-          g.bytes = r.get_span<std::uint8_t>();
-          maxseq = std::max(maxseq, g.seq);
-          got.push_back(std::move(g));
-        }
+        const IntervalSeq maxseq =
+            parse_reply(std::move(reply), need.creator, need.have);
         std::lock_guard<std::mutex> tl(table_mutex_);
         IntervalSeq& a = applied_[std::size_t{p} * nc_ + need.creator];
         a = std::max(a, maxseq);
@@ -384,21 +425,8 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
                          router_.same_node(id_, need.creator)
                              ? std::uint16_t{0}
                              : trace::kFlagOffNode);
-        ByteReader r(reply);
-        auto recs = deserialize_records(r);
-        if (!recs.empty()) apply_records(recs); // no page lock held
-        const auto floor = r.get<IntervalSeq>();
-        const auto count = r.get<std::uint32_t>();
-        IntervalSeq maxseq = std::max(need.have, floor);
-        for (std::uint32_t i = 0; i < count; ++i) {
-          Got g;
-          g.seq = r.get<IntervalSeq>();
-          g.vtsum = r.get<std::uint64_t>();
-          g.creator = need.creator;
-          g.bytes = r.get_span<std::uint8_t>();
-          maxseq = std::max(maxseq, g.seq);
-          got.push_back(std::move(g));
-        }
+        const IntervalSeq maxseq =
+            parse_reply(std::move(reply), need.creator, need.have);
         {
           std::lock_guard<std::mutex> tl(table_mutex_);
           IntervalSeq& a = applied_[std::size_t{p} * nc_ + need.creator];
@@ -424,10 +452,10 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
         heap_.has_alias() ? heap_.runtime_page(p) : heap_.app_page(p);
     auto* clock = sim::VirtualClock::current();
     for (const Got& g : got) {
-      apply_diff(g.bytes, dst);
+      apply_diff(g.view, dst);
       OMSP_PTRACE(p,
                   "apply diff creator=%u seq=%u bytes=%zu vtsum=%llu -> val=%ld",
-                  g.creator, g.seq, g.bytes.size(),
+                  g.creator, g.seq, g.view.size(),
                   static_cast<unsigned long long>(g.vtsum),
                   reinterpret_cast<const long*>(dst)[trace_off() / 8]);
       // A locally-dirty page must absorb remote diffs into its twin as well:
@@ -435,13 +463,13 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
       // under its own (possibly concurrent) interval, and a third context
       // could apply that stale copy over a newer write. With the twin kept
       // current, local diffs contain local writes only.
-      if (meta.twin != nullptr) apply_diff(g.bytes, meta.twin.get());
+      if (meta.twin != nullptr) apply_diff(g.view, meta.twin.get());
       stats_->add(Counter::kDiffsApplied);
-      OMSP_TRACE_EVENT(kDiffApply, id_, p, g.bytes.size());
+      OMSP_TRACE_EVENT(kDiffApply, id_, p, g.view.size());
       if (clock != nullptr)
         clock->charge(config_.cost.diff_apply_base_us +
                       config_.cost.diff_byte_us *
-                          static_cast<double>(g.bytes.size()));
+                          static_cast<double>(g.view.size()));
     }
   }
   meta.fetch_in_progress = false;
@@ -453,7 +481,21 @@ void DsmContext::handle(ContextId src, net::MsgType type, ByteReader& request,
   if (type == net::MsgType::kDiffToHome) {
     const auto p = request.get<PageId>();
     OMSP_CHECK(home_of(p) == id_);
-    const auto bytes = request.get_span<std::uint8_t>();
+    // The request buffer outlives this handler (both transports keep it
+    // alive across handle()), so an eligible same-node diff is applied
+    // straight out of the sender's serialized bytes.
+    std::span<const std::uint8_t> bytes;
+    DiffBytes copied;
+    if (zerocopy_eligible(src, request.remaining())) {
+      const auto n = request.get<std::uint32_t>();
+      bytes = request.view_bytes(n);
+      stats_->add(Counter::kZeroCopyDeliveries);
+      stats_->add(Counter::kZeroCopyBytes, bytes.size());
+      OMSP_TRACE_EVENT(kZeroCopyDeliver, id_, src, bytes.size());
+    } else {
+      copied = request.get_span<std::uint8_t>();
+      bytes = copied;
+    }
     std::lock_guard<std::mutex> pl(page_lock(p));
     apply_bytes_at_home(p, bytes.data(), bytes.size(), /*full_page=*/false);
     stats_->add(Counter::kDiffsApplied);
@@ -617,11 +659,11 @@ void DsmContext::fetch_from_home(PageId p,
     // Preserve local writes: capture the twin delta before the whole-page
     // overwrite, re-apply it on top afterwards, and rebase the twin onto
     // the fetched image so the next release diff carries only local bytes.
-    DiffBytes local_delta;
+    DiffBytes local_delta = diff_pool_.acquire();
     if (meta.twin != nullptr) {
       std::uint8_t snapshot[kPageSize];
       heap_.snapshot_page(p, snapshot);
-      local_delta = create_diff(meta.twin.get(), snapshot, kPageSize);
+      create_diff_into(meta.twin.get(), snapshot, local_delta, kPageSize);
     }
 
     lock.unlock();
@@ -632,7 +674,19 @@ void DsmContext::fetch_from_home(PageId p,
     lock.lock();
 
     ByteReader r(reply);
-    const auto page_bytes = r.get_span<std::uint8_t>();
+    std::span<const std::uint8_t> page_bytes;
+    std::vector<std::uint8_t> page_copy; // keeps the copy-path bytes alive
+    if (zerocopy_eligible(home_of(p), reply.size())) {
+      // The view aliases `reply`, which outlives every use below.
+      const auto n = r.get<std::uint32_t>();
+      page_bytes = r.view_bytes(n);
+      stats_->add(Counter::kZeroCopyDeliveries);
+      stats_->add(Counter::kZeroCopyBytes, page_bytes.size());
+      OMSP_TRACE_EVENT(kZeroCopyDeliver, id_, home_of(p), page_bytes.size());
+    } else {
+      page_copy = r.get_span<std::uint8_t>();
+      page_bytes = page_copy;
+    }
     OMSP_CHECK(page_bytes.size() == kPageSize);
     if (!heap_.has_alias() && meta.prot != Protection::kReadWrite)
       set_prot(p, Protection::kReadWrite);
@@ -644,6 +698,7 @@ void DsmContext::fetch_from_home(PageId p,
     if (!local_delta.empty()) {
       apply_diff(local_delta, dst); // twin NOT patched: delta stays local
     }
+    diff_pool_.release(std::move(local_delta));
     if (auto* clock = sim::VirtualClock::current(); clock != nullptr)
       clock->charge(config_.cost.diff_apply_base_us +
                     config_.cost.diff_byte_us * kPageSize);
@@ -682,7 +737,8 @@ void DsmContext::flush_page_diff_locked(PageId p) {
   std::uint8_t snapshot[kPageSize];
   heap_.snapshot_page(p, snapshot);
   const std::uint8_t* current = snapshot;
-  DiffBytes diff = create_diff(meta.twin.get(), current, kPageSize);
+  DiffBytes diff = diff_pool_.acquire();
+  create_diff_into(meta.twin.get(), current, diff, kPageSize);
 
   IntervalSeq tag;
   {
@@ -724,12 +780,15 @@ void DsmContext::flush_page_diff_locked(PageId p) {
       // thus never appear. Replace defensively.
       stored_diff_bytes_.fetch_sub(meta.stored_diffs.back().second.size(),
                                    std::memory_order_relaxed);
+      diff_pool_.release(std::move(meta.stored_diffs.back().second));
       meta.stored_diffs.back().second = std::move(diff);
     } else {
       OMSP_CHECK(meta.stored_diffs.empty() ||
                  meta.stored_diffs.back().first < tag);
       meta.stored_diffs.emplace_back(tag, std::move(diff));
     }
+  } else {
+    diff_pool_.release(std::move(diff));
   }
   meta.twin.reset();
   {
@@ -776,7 +835,8 @@ std::optional<IntervalRecord> DsmContext::close_interval() {
       }
       std::uint8_t snapshot[kPageSize];
       heap_.snapshot_page(p, snapshot);
-      DiffBytes diff = create_diff(meta.twin.get(), snapshot, kPageSize);
+      DiffBytes diff = diff_pool_.acquire();
+      create_diff_into(meta.twin.get(), snapshot, diff, kPageSize);
       stats_->add(Counter::kDiffsCreated);
       stats_->add(Counter::kDiffBytesCreated, diff.size());
       OMSP_TRACE_EVENT(kDiffCreate, id_, p, diff.size());
@@ -790,6 +850,7 @@ std::optional<IntervalRecord> DsmContext::close_interval() {
         (void)router_.transport().call(net::Envelope::request(
             id_, home_of(p), net::MsgType::kDiffToHome, msg));
       }
+      diff_pool_.release(std::move(diff));
       meta.twin.reset();
       meta.written_since_flush = false;
       std::lock_guard<std::mutex> dl(dirty_mutex_);
@@ -955,8 +1016,10 @@ void DsmContext::collect_garbage() {
   // records_unknown_to loops are empty for all peers from here.
   for (PageId p = 0; p < pages_.size(); ++p) {
     std::lock_guard<std::mutex> pl(page_lock(p));
-    for (auto& [seq, bytes] : pages_[p].stored_diffs)
+    for (auto& [seq, bytes] : pages_[p].stored_diffs) {
       stored_diff_bytes_.fetch_sub(bytes.size(), std::memory_order_relaxed);
+      diff_pool_.release(std::move(bytes));
+    }
     pages_[p].stored_diffs.clear();
     pages_[p].stored_diffs.shrink_to_fit();
   }
@@ -1066,7 +1129,11 @@ void DsmContext::absorb_batch_reply(PrefetchBatch& batch) {
   double complete = 0;
   auto reply = batch.reply.wait_at(&complete); // no clock advance: the wait
   // is charged when (if) a fetch session drains the entry, via ready_us.
-  ByteReader r(reply);
+  std::shared_ptr<std::vector<std::uint8_t>> backing;
+  const bool zc = zerocopy_eligible(batch.creator, reply.size());
+  if (zc)
+    backing = std::make_shared<std::vector<std::uint8_t>>(std::move(reply));
+  ByteReader r(zc ? *backing : reply);
   auto recs = deserialize_records(r);
   if (!recs.empty()) apply_records(recs); // takes page locks; no mutex held
   const auto npages = r.get<std::uint32_t>();
@@ -1074,6 +1141,7 @@ void DsmContext::absorb_batch_reply(PrefetchBatch& batch) {
                  "batch reply page count mismatch");
   std::vector<std::pair<PageId, PrefetchEntry>> parsed;
   parsed.reserve(npages);
+  std::uint64_t viewed = 0;
   for (std::uint32_t i = 0; i < npages; ++i) {
     const auto p = r.get<PageId>();
     OMSP_CHECK_MSG(p == batch.pages[i].first,
@@ -1090,10 +1158,23 @@ void DsmContext::absorb_batch_reply(PrefetchBatch& batch) {
     for (auto& d : e.diffs) {
       d.seq = r.get<IntervalSeq>();
       d.vt_sum = r.get<std::uint64_t>();
-      d.bytes = r.get_span<std::uint8_t>();
+      if (zc) {
+        const auto n = r.get<std::uint32_t>();
+        d.view = r.view_bytes(n);
+        d.backing = backing;
+        viewed += n;
+      } else {
+        d.owned = r.get_span<std::uint8_t>();
+        d.view = d.owned;
+      }
       e.covers = std::max(e.covers, d.seq);
     }
     parsed.emplace_back(p, std::move(e));
+  }
+  if (zc) {
+    stats_->add(Counter::kZeroCopyDeliveries);
+    stats_->add(Counter::kZeroCopyBytes, viewed);
+    OMSP_TRACE_EVENT(kZeroCopyDeliver, id_, batch.creator, viewed);
   }
   std::lock_guard<std::mutex> pm(prefetch_mutex_);
   for (auto& [p, e] : parsed) prefetch_buffer_[p].push_back(std::move(e));

@@ -54,10 +54,12 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bitset.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "net/router.hpp"
@@ -120,6 +122,9 @@ public:
   PageState page_state(PageId p);
   bool page_dirty(PageId p);
   std::size_t stored_diff_count(PageId p);
+  // Pool introspection: free blocks currently parked in the twin/diff pools.
+  std::size_t twin_pool_free() const { return twin_pool_.free_count(); }
+  std::size_t diff_pool_free() const { return diff_pool_.free_count(); }
 
   // Eagerly flush all dirty pages to diffs (the !lazy_diffs ablation; also a
   // test hook).
@@ -176,7 +181,9 @@ private:
     // twin. While set, the twin may hold writes not yet covered by any
     // published interval, so the flush must mint a fresh interval for them.
     bool written_since_flush = false;
-    std::unique_ptr<std::uint8_t[]> twin;
+    // Pooled 4 KB block (PagePool::Handle returns it to twin_pool_ on reset;
+    // same null/reset discipline as the unique_ptr it replaced).
+    PagePool::Handle twin;
     // Per-interval diffs created by this context for this page, seq ascending.
     std::vector<std::pair<IntervalSeq, DiffBytes>> stored_diffs;
   };
@@ -208,12 +215,28 @@ private:
 
   std::uint64_t vt_sum_of_own(IntervalSeq seq);
 
+  // True when a payload of `payload_bytes` arriving from `peer` may be
+  // handed over as a view instead of a deserialized copy: zero-copy enabled,
+  // same physical node (stage-0 adjacency in sim::Topology), and at least
+  // the configured switchover threshold.
+  bool zerocopy_eligible(ContextId peer, std::size_t payload_bytes) const {
+    return config_.zerocopy.enabled &&
+           payload_bytes >= config_.zerocopy.threshold_bytes &&
+           router_.same_node(id_, peer);
+  }
+
   // --- overlapped-fetch internals -------------------------------------------
   // One diff as shipped on the wire, parked until a fetch session drains it.
+  // `view` always points at the diff payload; on the copy path it views
+  // `owned`, on the zero-copy path it views the shared reply buffer kept
+  // alive by `backing` (moving `owned` preserves its heap pointer, so views
+  // survive container moves either way).
   struct BufferedDiff {
     IntervalSeq seq = 0;
     std::uint64_t vt_sum = 0;
-    DiffBytes bytes;
+    DiffBytes owned;
+    std::shared_ptr<std::vector<std::uint8_t>> backing;
+    std::span<const std::uint8_t> view;
   };
   // Prefetched state for one (page, creator) pair. `floor` is the creator's
   // last_listed_ answer (lets the drain advance applied_ even when no diffs
@@ -272,6 +295,13 @@ private:
   std::unique_ptr<std::mutex[]> page_mutexes_;
   std::mutex coarse_page_mutex_;
   std::condition_variable_any fetch_cv_;
+
+  // Free-list pools for the fault/flush hot paths. Declared BEFORE pages_:
+  // PageMeta.twin handles return their blocks to twin_pool_ on destruction,
+  // so the pool must outlive the page table (members destroy in reverse
+  // declaration order).
+  PagePool twin_pool_{kPageSize};
+  BufferPool diff_pool_;
 
   std::vector<PageMeta> pages_;
 

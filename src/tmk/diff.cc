@@ -1,22 +1,36 @@
 #include "tmk/diff.hpp"
 
+#include <bit>
 #include <cstring>
 
 #include "common/check.hpp"
+
+// Build-time kernel selection. The compare kernels only read memory and
+// produce per-byte difference masks; the run encoding itself is shared, so
+// every kernel emits byte-identical diffs (asserted by the property tests).
+// -DOMSP_DIFF_PORTABLE (cmake -DOMSP_SIMD=portable) forces the word kernel
+// even on x86 so CI can exercise the fallback.
+#if defined(OMSP_DIFF_PORTABLE)
+#define OMSP_DIFF_KERNEL_NAME "portable64"
+#elif defined(__AVX2__)
+#include <immintrin.h>
+#define OMSP_DIFF_KERNEL_NAME "avx2"
+#elif defined(__SSE2__)
+#include <emmintrin.h>
+#define OMSP_DIFF_KERNEL_NAME "sse2"
+#else
+#define OMSP_DIFF_KERNEL_NAME "portable64"
+#endif
 
 namespace omsp::tmk {
 
 namespace {
 
-// Runs are encoded as {u16 offset, u16 len} headers. A page offset fits in
-// 16 bits for pages up to 64K; length of a full-page run (4096) also fits.
-struct RunHeader {
-  std::uint16_t offset;
-  std::uint16_t length;
-};
+using detail::RunHeader;
 
-void put_run(DiffBytes& out, std::size_t offset, std::size_t length,
-             const std::uint8_t* data) {
+inline void put_run(DiffBytes& out, std::size_t offset, std::size_t length,
+                    const std::uint8_t* data) {
+  OMSP_CHECK(length <= 0xffff); // u16 wire length; offset checked by caller
   RunHeader h{static_cast<std::uint16_t>(offset),
               static_cast<std::uint16_t>(length)};
   const auto* hp = reinterpret_cast<const std::uint8_t*>(&h);
@@ -24,18 +38,157 @@ void put_run(DiffBytes& out, std::size_t offset, std::size_t length,
   out.insert(out.end(), data + offset, data + offset + length);
 }
 
+// Turns per-byte difference masks into maximal byte-exact runs. Fed one
+// block at a time: bit i of `m` says byte (base + i) differs. A run that
+// reaches the end of a block is left open and either extended or closed by
+// the next block — so runs straddle word, lane and block boundaries without
+// the kernels having to care.
+struct RunEmitter {
+  DiffBytes& out;
+  const std::uint8_t* cur;
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t run_begin = kNone;
+
+  // `nbytes` is the block width (<= 64); bits >= nbytes of `m` must be 0.
+  inline void feed(std::size_t base, std::uint64_t m, unsigned nbytes) {
+    unsigned bit = 0;
+    if (run_begin != kNone) {
+      const unsigned ones = static_cast<unsigned>(std::countr_one(m));
+      if (ones >= nbytes) return; // open run covers this whole block
+      put_run(out, run_begin, base + ones - run_begin, cur);
+      run_begin = kNone;
+      m >>= ones;
+      bit = ones;
+    }
+    while (m != 0) {
+      const unsigned zeros = static_cast<unsigned>(std::countr_zero(m));
+      m >>= zeros;
+      bit += zeros;
+      const unsigned ones = static_cast<unsigned>(std::countr_one(m));
+      if (bit + ones >= nbytes) { // run reaches block end: leave it open
+        run_begin = base + bit;
+        return;
+      }
+      put_run(out, base + bit, ones, cur);
+      m >>= ones;
+      bit += ones;
+    }
+  }
+
+  inline void close_at(std::size_t end) {
+    if (run_begin != kNone) {
+      put_run(out, run_begin, end - run_begin, cur);
+      run_begin = kNone;
+    }
+  }
+};
+
+inline std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+// Per-byte difference mask of one 8-byte word (bit b set iff byte b
+// differs), used by the portable kernel and every tail smaller than the
+// vector width.
+inline std::uint64_t word_mask(const std::uint8_t* twin,
+                               const std::uint8_t* cur) {
+  const std::uint64_t x = load_u64(twin) ^ load_u64(cur);
+  if (x == 0) return 0;
+  std::uint64_t m = 0;
+  for (unsigned b = 0; b < 8; ++b)
+    if ((x >> (8 * b)) & 0xff) m |= std::uint64_t{1} << b;
+  return m;
+}
+
+// Per-byte difference mask of one 64-byte block.
+inline std::uint64_t block_mask64(const std::uint8_t* twin,
+                                  const std::uint8_t* cur) {
+#if defined(OMSP_DIFF_PORTABLE)
+  std::uint64_t m = 0;
+  for (unsigned w = 0; w < 8; ++w)
+    m |= word_mask(twin + 8 * w, cur + 8 * w) << (8 * w);
+  return m;
+#elif defined(__AVX2__)
+  const __m256i t0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(twin));
+  const __m256i c0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cur));
+  const __m256i t1 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(twin + 32));
+  const __m256i c1 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cur + 32));
+  const auto eq0 = static_cast<std::uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(t0, c0)));
+  const auto eq1 = static_cast<std::uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(t1, c1)));
+  return ~(static_cast<std::uint64_t>(eq0) |
+           (static_cast<std::uint64_t>(eq1) << 32));
+#elif defined(__SSE2__)
+  std::uint64_t eq = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    const __m128i t =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(twin + 16 * i));
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cur + 16 * i));
+    eq |= static_cast<std::uint64_t>(
+              static_cast<std::uint16_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(t, c))))
+          << (16 * i);
+  }
+  return ~eq;
+#else
+  std::uint64_t m = 0;
+  for (unsigned w = 0; w < 8; ++w)
+    m |= word_mask(twin + 8 * w, cur + 8 * w) << (8 * w);
+  return m;
+#endif
+}
+
 } // namespace
+
+const char* diff_kernel_name() { return OMSP_DIFF_KERNEL_NAME; }
+
+void create_diff_into(const std::uint8_t* twin, const std::uint8_t* current,
+                      DiffBytes& out, std::size_t page_size) {
+  OMSP_CHECK(page_size % sizeof(std::uint64_t) == 0);
+  OMSP_CHECK(page_size <= 65536);
+  out.clear();
+
+  // Runs must be byte-exact: a diff may never carry an unchanged byte,
+  // because concurrent writers of the same page (false sharing) rely on the
+  // merge touching only bytes they actually wrote. Blocks are compared 64
+  // bytes at a time; only blocks with differences reach the run emitter.
+  RunEmitter em{out, current};
+  std::size_t base = 0;
+  for (; base + 64 <= page_size; base += 64) {
+    const std::uint64_t m = block_mask64(twin + base, current + base);
+    if (m == 0) {
+      em.close_at(base); // an equal byte always terminates an open run
+      continue;
+    }
+    em.feed(base, m, 64);
+  }
+  for (; base < page_size; base += 8)
+    em.feed(base, word_mask(twin + base, current + base), 8);
+  em.close_at(page_size);
+}
 
 DiffBytes create_diff(const std::uint8_t* twin, const std::uint8_t* current,
                       std::size_t page_size) {
+  DiffBytes out;
+  create_diff_into(twin, current, out, page_size);
+  return out;
+}
+
+DiffBytes create_diff_scalar(const std::uint8_t* twin,
+                             const std::uint8_t* current,
+                             std::size_t page_size) {
   OMSP_CHECK(page_size % sizeof(std::uint64_t) == 0);
   OMSP_CHECK(page_size <= 65536);
   DiffBytes out;
 
-  // Runs must be byte-exact: a diff may never carry an unchanged byte,
-  // because concurrent writers of the same page (false sharing) rely on the
-  // merge touching only bytes they actually wrote. Words are compared first
-  // as a fast scan, then changed words are refined to exact byte runs.
+  // The original TreadMarks-style encoder: compare a machine word at a time,
+  // refine changed words to exact byte runs. Kept verbatim as the reference
+  // implementation the vector kernels are proved against.
   const std::size_t words = page_size / sizeof(std::uint64_t);
   std::uint64_t tw, cw;
   std::size_t run_begin = page_size; // page_size == "no open run"
@@ -63,45 +216,105 @@ DiffBytes create_diff(const std::uint8_t* twin, const std::uint8_t* current,
   return out;
 }
 
-void apply_diff(std::span<const std::uint8_t> diff, std::uint8_t* dst) {
-  std::size_t pos = 0;
-  while (pos < diff.size()) {
-    OMSP_CHECK_MSG(pos + sizeof(RunHeader) <= diff.size(),
-                   "truncated diff header");
-    RunHeader h;
-    std::memcpy(&h, diff.data() + pos, sizeof(h));
-    pos += sizeof(h);
-    OMSP_CHECK_MSG(pos + h.length <= diff.size(), "truncated diff run");
-    std::memcpy(dst + h.offset, diff.data() + pos, h.length);
-    pos += h.length;
-  }
+namespace {
+
+// Fixed-width 32/64-byte copies. GCC lowers memcpy(·, ·, 64) to eight
+// 16-byte xmm moves even under -mavx2; the explicit ymm intrinsics halve
+// that. Plain memcpy otherwise — both forms are byte-identical copies.
+inline void copy32(std::uint8_t* dst, const std::uint8_t* src) {
+#if defined(__AVX2__)
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src)));
+#else
+  std::memcpy(dst, src, 32);
+#endif
 }
 
-std::size_t diff_patch_bytes(std::span<const std::uint8_t> diff) {
-  std::size_t total = 0;
-  std::size_t pos = 0;
-  while (pos < diff.size()) {
-    RunHeader h;
-    OMSP_CHECK(pos + sizeof(h) <= diff.size());
-    std::memcpy(&h, diff.data() + pos, sizeof(h));
-    pos += sizeof(h) + h.length;
-    total += h.length;
+inline void copy64(std::uint8_t* dst, const std::uint8_t* src) {
+  copy32(dst, src);
+  copy32(dst + 32, src + 32);
+}
+
+// memcpy for one run. Most runs are short (a few words of one cache line),
+// where libc memcpy's size dispatch dominates; copy those with overlapping
+// fixed-width moves instead. Every store stays inside [dst, dst+n) — the
+// overlap is between the head and tail copies of the same run, never with
+// bytes outside it, so the byte-exact merge contract holds.
+inline void copy_run(std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t n) {
+  if (n > 64) { // first test, not last: keeps the big-run path hot
+    if (n <= 128) { // two overlapping 64-byte moves beat a libc call
+      copy64(dst, src);
+      copy64(dst + n - 64, src + n - 64);
+      return;
+    }
+    std::memcpy(dst, src, n);
+    return;
   }
-  OMSP_CHECK(pos == diff.size());
+  if (n >= 16) {
+    if (n > 32) {
+      copy32(dst, src);
+      copy32(dst + n - 32, src + n - 32);
+      return;
+    }
+    std::memcpy(dst, src, 16);
+    std::memcpy(dst + n - 16, src + n - 16, 16);
+    return;
+  }
+  if (n >= 8) {
+    std::memcpy(dst, src, 8);
+    std::memcpy(dst + n - 8, src + n - 8, 8);
+    return;
+  }
+  if (n >= 4) {
+    std::memcpy(dst, src, 4);
+    std::memcpy(dst + n - 4, src + n - 4, 4);
+    return;
+  }
+  if (n >= 2) {
+    std::memcpy(dst, src, 2);
+    std::memcpy(dst + n - 2, src + n - 2, 2);
+    return;
+  }
+  if (n == 1) *dst = *src;
+}
+
+} // namespace
+
+void apply_diff(std::span<const std::uint8_t> diff, std::uint8_t* dst,
+                std::size_t page_size) {
+  for_each_run(diff, page_size,
+               [dst](std::size_t offset, const std::uint8_t* src,
+                     std::size_t length) { copy_run(dst + offset, src, length); });
+}
+
+std::size_t diff_patch_bytes(std::span<const std::uint8_t> diff,
+                             std::size_t page_size) {
+  std::size_t total = 0;
+  for_each_run(diff, page_size,
+               [&total](std::size_t, const std::uint8_t*, std::size_t length) {
+                 total += length;
+               });
   return total;
 }
 
-std::size_t diff_run_count(std::span<const std::uint8_t> diff) {
+std::size_t diff_run_count(std::span<const std::uint8_t> diff,
+                           std::size_t page_size) {
   std::size_t runs = 0;
-  std::size_t pos = 0;
-  while (pos < diff.size()) {
-    RunHeader h;
-    OMSP_CHECK(pos + sizeof(h) <= diff.size());
-    std::memcpy(&h, diff.data() + pos, sizeof(h));
-    pos += sizeof(h) + h.length;
-    ++runs;
-  }
+  for_each_run(diff, page_size,
+               [&runs](std::size_t, const std::uint8_t*, std::size_t) { ++runs; });
   return runs;
+}
+
+DiffStats diff_stats(std::span<const std::uint8_t> diff,
+                     std::size_t page_size) {
+  DiffStats s;
+  for_each_run(diff, page_size,
+               [&s](std::size_t, const std::uint8_t*, std::size_t length) {
+                 s.patch_bytes += length;
+                 ++s.runs;
+               });
+  return s;
 }
 
 } // namespace omsp::tmk

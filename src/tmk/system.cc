@@ -60,6 +60,10 @@ DsmSystem::DsmSystem(Config config)
   // Collective engine selection follows the same pattern (OMSP_COLL as the
   // code-free enable); resolved before any barrier can run.
   if (!config_.coll.tree) config_.coll = coll::Options::from_env();
+  // Zero-copy intra-node delivery, same pattern (OMSP_ZEROCOPY); resolved
+  // before any context is constructed so every fetch path sees one answer.
+  if (!config_.zerocopy.enabled)
+    config_.zerocopy = net::ZeroCopyOptions::from_env();
   if (overlap.enabled || perturb.enabled) {
     std::unique_ptr<net::Transport> t =
         std::make_unique<net::InlineTransport>(*router_);

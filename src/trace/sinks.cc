@@ -279,6 +279,10 @@ StatsSnapshot reconstruct_counters(const std::vector<Event>& events) {
       s[Counter::kCollStages] += 1;
       s[Counter::kCollBytes] += e.arg0;
       break;
+    case EventKind::kZeroCopyDeliver:
+      s[Counter::kZeroCopyDeliveries] += 1;
+      s[Counter::kZeroCopyBytes] += e.arg1;
+      break;
     case EventKind::kLockGrant:
     case EventKind::kBarrierWait:
     case EventKind::kDiffFetch:

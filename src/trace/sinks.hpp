@@ -34,7 +34,10 @@ inline constexpr char kTraceMagic[8] = {'O', 'M', 'S', 'P',
 // and the msgs_lost/retransmits/acks_sent counters (lossy transport).
 // Version 5: adds the hierarchical-collectives kind kCollStage (arg0 = wire
 // bytes, arg1 = (level<<32)|leader) and the coll_stages/coll_bytes counters.
-inline constexpr std::uint32_t kTraceVersion = 5;
+// Version 6: adds the zero-copy intra-node delivery kind kZeroCopyDeliver
+// (arg0 = peer ctx, arg1 = bytes viewed) and the zerocopy_deliveries/
+// zerocopy_bytes counters (OMSP_ZEROCOPY).
+inline constexpr std::uint32_t kTraceVersion = 6;
 
 struct TraceFile {
   std::vector<Event> events;
