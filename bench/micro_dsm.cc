@@ -332,6 +332,60 @@ BENCHMARK(BM_BarrierEpisode)
     ->ArgName("tree")
     ->Unit(benchmark::kMicrosecond);
 
+// Detector overhead: the same falsely-shared barrier workload with the
+// vector-clock race detector off / page-granular / word-granular. The
+// detector's cost is pure host time (race baselines, collection diffs and
+// the barrier-time sweep); the exported virtual_us_per_iter must be
+// IDENTICAL across the three args — the bit-for-bit knob contract
+// (docs/OBSERVABILITY.md, bench_smoke asserts it from the JSON).
+void BM_RaceDetectOverhead(benchmark::State& state) {
+  Config cfg;
+  cfg.topology = sim::Topology(2, 2);
+  cfg.cost = sim::CostModel::sp2_default();
+  cfg.cost.cpu_scale = 0;
+  cfg.heap_bytes = 1u << 20;
+  switch (state.range(0)) {
+  case 0: cfg.race.mode = race::Mode::kOff; break;
+  case 1: cfg.race.mode = race::Mode::kPage; break;
+  default: cfg.race.mode = race::Mode::kWord; break;
+  }
+  DsmSystem dsm(cfg);
+  const std::size_t n = kPageSize / sizeof(long);
+  auto data = dsm.alloc_page_aligned<long>(4 * n);
+  long expect = 0;
+  double prev_us = 0, episode_us = 0;
+  for (auto _ : state) {
+    ++expect;
+    dsm.parallel([&](Rank r) {
+      // Four falsely shared pages, every rank dirtying its slice of each:
+      // each barrier flushes four diffs per context through the detector's
+      // collection path and the sweep sees 4 pages x 4 writers.
+      for (std::size_t pg = 0; pg < 4; ++pg)
+        data[pg * n + r * (n / 4)] = expect;
+      dsm.barrier();
+      benchmark::DoNotOptimize(data[0]);
+      dsm.barrier();
+    });
+    // Steady-state modeled cost of ONE episode (the last iteration's virtual-
+    // time delta, free of cold-fault warm-up). Comparable across the three
+    // detector modes because the iteration count is pinned below: periodic
+    // protocol work (GC exchanges) gives the episode sequence a cycle longer
+    // than one iteration, so only equal counts sample equal phases.
+    const double now_us = dsm.master_time_us();
+    episode_us = now_us - prev_us;
+    prev_us = now_us;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["virtual_us_per_iter"] = benchmark::Counter(episode_us);
+}
+BENCHMARK(BM_RaceDetectOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgName("race")
+    ->Iterations(512)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_Mprotect(benchmark::State& state) {
   Config cfg;
   cfg.topology = sim::Topology(1, 1);

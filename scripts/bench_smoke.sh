@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Bench smoke: run the evaluation benches at CI problem sizes, merge their
-# machine-readable rows into BENCH_pr8.json, and fail if message counts
+# machine-readable rows into BENCH_pr9.json, and fail if message counts
 # drifted vs the committed baseline under the default (inline, synchronous)
 # transport. Each bench row also records its host WALL-CLOCK seconds
 # ("wall_clock_s") — modeled results answer "is the simulation right",
@@ -34,7 +34,7 @@
 set -euo pipefail
 
 BUILD_DIR=build
-OUT=BENCH_pr8.json
+OUT=BENCH_pr9.json
 UPDATE=0
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -64,7 +64,7 @@ trap 'rm -rf "$TMP"' EXIT
 # machine shape or collective engine is a legitimate sweep, checked against
 # its own baseline key.
 unset OMSP_OVERLAP OMSP_OVERLAP_FETCH OMSP_OVERLAP_PREFETCH OMSP_PERTURB_SEED \
-      OMSP_LOSS_PROB
+      OMSP_LOSS_PROB OMSP_RACE
 
 # The no-loss baseline must not engage the reliability layer at all: zero
 # losses, zero retransmissions, zero acks (and therefore zero extra wire
@@ -83,6 +83,23 @@ if [ -x "$BUILD_DIR/src/trace/omsp-trace" ]; then
   done
   echo "no-loss baseline: zero losses/retransmits/acks"
 fi
+
+# Race-detector invariant: the default baseline is race-clean, and switching
+# the detector on leaves the message counts unchanged — the detector rides
+# the existing diff/flush traffic and adds zero messages of its own. The
+# digest's exit code asserts cleanliness (0 = sweeps ran, nothing found);
+# the count check reuses the drift policy below on a detector-on table2 run
+# (MPI exact — the detector never touches mini-MPI — SDSM within the band).
+if [ -x "$BUILD_DIR/src/trace/omsp-trace" ]; then
+  echo "== race-detector invariant (OMSP_RACE=page) =="
+  OMSP_RACE=page "$BUILD_DIR/src/trace/omsp-trace" record sor \
+      -o "$TMP/race_sor" >/dev/null
+  "$BUILD_DIR/src/trace/omsp-trace" races "$TMP/race_sor.trace" || {
+    echo "bench_smoke: default baseline is not race-clean" >&2; exit 1; }
+fi
+echo "== table2_traffic --smoke, detector on =="
+OMSP_RACE=page "$BUILD_DIR/bench/table2_traffic" --smoke \
+    --json "$TMP/table2_race.json"
 
 # Host wall-clock per bench (the column ISSUE 8's host-side optimizations
 # move; modeled numbers in the same rows must not move at all).
@@ -133,6 +150,7 @@ import json, os, sys
 tmp, out_path, baseline_path, update = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4] == "1"
 
 table2 = json.load(open(f"{tmp}/table2.json"))
+table2_race = json.load(open(f"{tmp}/table2_race.json"))
 fig1 = json.load(open(f"{tmp}/fig1.json"))
 topo = table2.get("topology", "sp2")
 coll = os.environ.get("OMSP_COLL", "")
@@ -227,6 +245,7 @@ merged = {
     "wall_clock_s": wall,
     "micro_diff_kernels": micro,
     "table2_traffic": table2,
+    "table2_traffic_race_on": table2_race,
     "fig1_speedup": fig1,
     "speedup_curve_scale": scale,
 }
@@ -255,28 +274,35 @@ if key not in baselines:
     sys.exit(1)
 baseline = baselines[key]
 SDSM_BAND = 0.25
-failures = []
-for app, versions in baseline["apps"].items():
-    for ver, base_row in versions.items():
-        cur = table2["apps"][app][ver]["msgs"]
-        base = base_row["msgs"]
-        if ver == "mpi":
-            if cur != base:
-                failures.append(f"{app}/{ver}: msgs {cur} != baseline {base} (exact)")
-        elif app == "TSP":
-            continue  # speculative search: counts are race-dependent
-        else:
-            lo, hi = base * (1 - SDSM_BAND), base * (1 + SDSM_BAND)
-            if not (lo <= cur <= hi):
-                failures.append(
-                    f"{app}/{ver}: msgs {cur} outside [{lo:.0f}, {hi:.0f}] "
-                    f"(baseline {base} +/-25%)")
+def drift(run, tag):
+    failures = []
+    for app, versions in baseline["apps"].items():
+        for ver, base_row in versions.items():
+            cur = run["apps"][app][ver]["msgs"]
+            base = base_row["msgs"]
+            if ver == "mpi":
+                if cur != base:
+                    failures.append(
+                        f"{app}/{ver}: msgs {cur} != baseline {base} (exact)")
+            elif app == "TSP":
+                continue  # speculative search: counts are race-dependent
+            else:
+                lo, hi = base * (1 - SDSM_BAND), base * (1 + SDSM_BAND)
+                if not (lo <= cur <= hi):
+                    failures.append(
+                        f"{app}/{ver}: msgs {cur} outside [{lo:.0f}, {hi:.0f}] "
+                        f"(baseline {base} +/-25%)")
+    if failures:
+        print(f"message-count drift vs seed baseline [{key}] {tag}:",
+              file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        sys.exit(1)
 
-if failures:
-    print(f"message-count drift vs seed baseline [{key}]:", file=sys.stderr)
-    for f_ in failures:
-        print(f"  {f_}", file=sys.stderr)
-    sys.exit(1)
-print(f"message counts match the seed baseline [{key}] "
+drift(table2, "(detector off)")
+# The detector-on run is held to the SAME baseline: OMSP_RACE adds zero
+# messages, so the exact MPI rows and the SDSM band apply unchanged.
+drift(table2_race, "(OMSP_RACE=page)")
+print(f"message counts match the seed baseline [{key}], detector off AND on "
       "(MPI exact, SDSM within 25%, TSP SDSM exempt)")
 EOF

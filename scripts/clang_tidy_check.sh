@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# clang-tidy gate, run as the CI static-analysis job. Uses the curated check
+# set in .clang-tidy (WarningsAsErrors: '*', so any finding fails the job).
+#
+#   scripts/clang_tidy_check.sh [--build-dir <dir>] [--jobs N]
+#
+# Needs a compile_commands.json; the script configures a throwaway build dir
+# with CMAKE_EXPORT_COMPILE_COMMANDS when the given one lacks it. When
+# clang-tidy is not installed (the default dev container ships only gcc),
+# the script SKIPS with exit 0 and says so — the CI image provides the tool,
+# so the gate is enforced where it matters without breaking local loops.
+set -euo pipefail
+
+BUILD_DIR=build
+JOBS=$(nproc 2>/dev/null || echo 4)
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR=$2; shift 2 ;;
+    --jobs) JOBS=$2; shift 2 ;;
+    *) echo "usage: $0 [--build-dir <dir>] [--jobs N]" >&2; exit 2 ;;
+  esac
+done
+
+cd "$(dirname "$0")/.."
+
+TIDY=$(command -v clang-tidy || true)
+if [ -z "$TIDY" ]; then
+  echo "clang_tidy_check: clang-tidy not installed — SKIPPED (CI enforces it)"
+  exit 0
+fi
+RUNNER=$(command -v run-clang-tidy || true)
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -S . -B "$BUILD_DIR" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+# First-party translation units only: generated/example code and tests track
+# different idioms; the curated set targets the simulator and runtime proper.
+mapfile -t FILES < <(git ls-files 'src/**/*.cc' | grep -v '_main\.cc$')
+echo "clang_tidy_check: ${#FILES[@]} files, $JOBS jobs"
+
+if [ -n "$RUNNER" ]; then
+  "$RUNNER" -p "$BUILD_DIR" -j "$JOBS" -quiet "${FILES[@]}"
+else
+  STATUS=0
+  for f in "${FILES[@]}"; do
+    "$TIDY" -p "$BUILD_DIR" --quiet "$f" || STATUS=1
+  done
+  [ "$STATUS" -eq 0 ]
+fi
+echo "clang_tidy_check: all green"

@@ -56,6 +56,8 @@ enum class Counter : std::size_t {
   kCollBytes,           // wire bytes carried across those schedule edges
   kZeroCopyDeliveries,  // same-node payloads handed over as views, no copy
   kZeroCopyBytes,       // payload bytes those deliveries avoided copying
+  kRaceChecks,          // detector pairwise concurrency checks (OMSP_RACE)
+  kRacesDetected,       // write-write race reports from those checks
   kCount
 };
 
@@ -72,7 +74,8 @@ inline const char* counter_name(Counter c) {
                "prefetch_pages_fetched", "prefetch_hits",
                "msgs_lost",        "retransmits",     "acks_sent",
                "coll_stages",      "coll_bytes",
-               "zerocopy_deliveries", "zerocopy_bytes"};
+               "zerocopy_deliveries", "zerocopy_bytes",
+               "race_checks",      "races_detected"};
   return names[static_cast<std::size_t>(c)];
 }
 

@@ -1,0 +1,32 @@
+#include "race/options.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace omsp::race {
+
+std::optional<Options> Options::parse(std::string_view spec) {
+  Options opts;
+  if (spec == "off") {
+    opts.mode = Mode::kOff;
+  } else if (spec == "page") {
+    opts.mode = Mode::kPage;
+  } else if (spec == "word") {
+    opts.mode = Mode::kWord;
+  } else {
+    return std::nullopt;
+  }
+  return opts;
+}
+
+Options Options::from_env() {
+  const char* env = std::getenv("OMSP_RACE");
+  if (env == nullptr || *env == '\0') return Options{};
+  auto opts = parse(env);
+  OMSP_CHECK_MSG(opts.has_value(),
+                 "malformed OMSP_RACE spec (want off | page | word)");
+  return *opts;
+}
+
+} // namespace omsp::race

@@ -17,6 +17,7 @@
 #include "common/mathutil.hpp"
 #include "net/collective.hpp"
 #include "net/transport.hpp"
+#include "race/options.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/topology.hpp"
 #include "trace/tracer.hpp"
@@ -93,6 +94,14 @@ struct Config {
   // OMSP_COLL=central|tree|tree:<bytes> overrides at DsmSystem construction
   // when coll.tree is false.
   coll::Options coll;
+
+  // Data-race detection (race::Detector): vector-clock concurrency checks
+  // over flushed diffs, swept at barriers and joins (docs/PROTOCOL.md "Race
+  // detection under lazy release consistency"). Off by default — with the
+  // detector off every modeled number stays bit-for-bit identical to the
+  // seed; OMSP_RACE=off|page|word overrides at DsmSystem construction when
+  // race.enabled() is false.
+  race::Options race;
 
   bool use_alias_mapping() const {
     return alias_mapping.value_or(mode == Mode::kThread);

@@ -82,6 +82,7 @@ DsmContext::DsmContext(ContextId id, const Config& config, net::Router& router)
   pages_.resize(npages);
   dirty_.resize(npages);
   vt_ = VectorTime(nc_);
+  sync_vt_ = VectorTime(nc_);
   table_.resize(nc_);
   table_base_.assign(nc_, 0);
   last_listed_.assign(npages, 0);
@@ -89,6 +90,12 @@ DsmContext::DsmContext(ContextId id, const Config& config, net::Router& router)
   applied_.assign(npages * nc_, 0);
   router_.bind_handler(id, this);
   FaultRegistry::add_region(heap_.app_base(), heap_.bytes(), this);
+  // Force the one-time trap-overhead calibration NOW, in normal context: it
+  // takes page faults of its own, and deferring it to the first real fault
+  // would nest synchronous SIGSEGVs inside the handler — a pattern
+  // ThreadSanitizer's signal interception cannot survive (and an in-handler
+  // measurement would be skewed by the live signal frame anyway).
+  (void)FaultRegistry::fault_trap_overhead_us();
 }
 
 DsmContext::~DsmContext() { FaultRegistry::remove_region(heap_.app_base()); }
@@ -109,6 +116,7 @@ void DsmContext::on_fault(void* addr, bool is_write) {
 
   const PageId p = heap_.page_of(addr);
   OMSP_PTRACE(p, "fault is_write=%d", is_write ? 1 : 0);
+  if (race_ != nullptr) race_->record_access(id_, p, is_write);
   std::unique_lock<std::mutex> lock(page_lock(p));
   PageMeta& meta = pages_[p];
   meta.ever_accessed = true;
@@ -173,6 +181,17 @@ void DsmContext::make_twin(PageId p) {
   // stale contents from a previous life never matter.
   meta.twin = twin_pool_.acquire();
   heap_.snapshot_page(p, meta.twin.get());
+  if (race_ != nullptr) {
+    // The detector's collection baseline starts out identical to the twin
+    // and then tracks "content at last collection" (see PageMeta::race_twin).
+    meta.race_twin = twin_pool_.acquire();
+    std::memcpy(meta.race_twin.get(), meta.twin.get(), kPageSize);
+    // A fresh twin has no uncollected bytes: mark it collected up to the
+    // newest listing so a pre-sweep flush attributes new writes to its mint
+    // rather than to a stale close still on file.
+    std::lock_guard<std::mutex> tl(table_mutex_);
+    meta.race_collected_seq = last_listed_[p];
+  }
   stats_->add(Counter::kTwins);
   OMSP_TRACE_EVENT(kTwinCreate, id_, p);
   OMSP_PTRACE(p, "twin made val=%ld",
@@ -237,7 +256,8 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
       backing = std::make_shared<std::vector<std::uint8_t>>(std::move(reply));
     ByteReader r(zc ? *backing : reply);
     auto recs = deserialize_records(r);
-    if (!recs.empty()) apply_records(recs); // no page lock held
+    if (!recs.empty())
+      apply_records(recs, /*sync=*/false); // data piggyback, no page lock
     const auto floor = r.get<IntervalSeq>();
     const auto count = r.get<std::uint32_t>();
     IntervalSeq maxseq = std::max(have, floor);
@@ -464,6 +484,9 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
       // could apply that stale copy over a newer write. With the twin kept
       // current, local diffs contain local writes only.
       if (meta.twin != nullptr) apply_diff(g.view, meta.twin.get());
+      // The race baseline absorbs the same remote bytes: they are not this
+      // context's writes and must never surface in its collection delta.
+      if (meta.race_twin != nullptr) apply_diff(g.view, meta.race_twin.get());
       stats_->add(Counter::kDiffsApplied);
       OMSP_TRACE_EVENT(kDiffApply, id_, p, g.view.size());
       if (clock != nullptr)
@@ -619,13 +642,37 @@ void DsmContext::apply_bytes_at_home(PageId p, const std::uint8_t* bytes,
     set_prot(p, Protection::kReadWrite);
   std::uint8_t* dst =
       heap_.has_alias() ? heap_.runtime_page(p) : heap_.app_page(p);
+  // Uncollected LOCAL writes at the home (current − race baseline) are about
+  // to be overwritten by the incoming bytes — last-writer-wins at the home.
+  // Freeze the baseline's OLD bytes there: mirroring the incoming bytes over
+  // them would erase the local write from the value oracle, and the home's
+  // side of exactly the write-write race being perpetrated would go
+  // undetected. With the old bytes kept, the next collection still yields a
+  // delta over the overwritten range and attributes it to the home's close.
+  std::uint8_t pre[kPageSize];
+  std::uint8_t old_rt[kPageSize];
+  const bool preserve_local = meta.race_twin != nullptr;
+  if (preserve_local) {
+    heap_.snapshot_page(p, pre);
+    std::memcpy(old_rt, meta.race_twin.get(), kPageSize);
+  }
   if (full_page) {
     std::memcpy(dst, bytes, kPageSize);
     if (meta.twin != nullptr) std::memcpy(meta.twin.get(), bytes, kPageSize);
+    if (meta.race_twin != nullptr)
+      std::memcpy(meta.race_twin.get(), bytes, kPageSize);
   } else {
     apply_diff({bytes, len}, dst);
-    // Keep a concurrent local twin in sync so local diffs stay local-only.
+    // Keep a concurrent local twin in sync so local diffs stay local-only;
+    // same for the race baseline (remote bytes are not local writes).
     if (meta.twin != nullptr) apply_diff({bytes, len}, meta.twin.get());
+    if (meta.race_twin != nullptr)
+      apply_diff({bytes, len}, meta.race_twin.get());
+  }
+  if (preserve_local) {
+    std::uint8_t* rt = meta.race_twin.get();
+    for (std::size_t i = 0; i < kPageSize; ++i)
+      if (pre[i] != old_rt[i]) rt[i] = old_rt[i];
   }
   if (!heap_.has_alias()) {
     // Restore the application-visible protection.
@@ -660,10 +707,17 @@ void DsmContext::fetch_from_home(PageId p,
     // overwrite, re-apply it on top afterwards, and rebase the twin onto
     // the fetched image so the next release diff carries only local bytes.
     DiffBytes local_delta = diff_pool_.acquire();
+    DiffBytes attributed_delta = diff_pool_.acquire();
     if (meta.twin != nullptr) {
       std::uint8_t snapshot[kPageSize];
       heap_.snapshot_page(p, snapshot);
       create_diff_into(meta.twin.get(), snapshot, local_delta, kPageSize);
+      // Local writes the detector already collected live only in the race
+      // baseline (race_twin − twin); capture them so the rebase below can
+      // carry them onto the fetched image.
+      if (meta.race_twin != nullptr)
+        create_diff_into(meta.twin.get(), meta.race_twin.get(),
+                         attributed_delta, kPageSize);
     }
 
     lock.unlock();
@@ -695,10 +749,20 @@ void DsmContext::fetch_from_home(PageId p,
     std::memcpy(dst, page_bytes.data(), kPageSize);
     if (meta.twin != nullptr)
       std::memcpy(meta.twin.get(), page_bytes.data(), kPageSize);
+    if (meta.race_twin != nullptr) {
+      // Rebase the race baseline like the twin, then restore the already-
+      // attributed local writes on top: the invariant race_twin = twin +
+      // attributed-local-writes survives the whole-page overwrite, so the
+      // next collection still yields only writes made since the last one.
+      std::memcpy(meta.race_twin.get(), page_bytes.data(), kPageSize);
+      if (!attributed_delta.empty())
+        apply_diff(attributed_delta, meta.race_twin.get());
+    }
     if (!local_delta.empty()) {
       apply_diff(local_delta, dst); // twin NOT patched: delta stays local
     }
     diff_pool_.release(std::move(local_delta));
+    diff_pool_.release(std::move(attributed_delta));
     if (auto* clock = sim::VirtualClock::current(); clock != nullptr)
       clock->charge(config_.cost.diff_apply_base_us +
                     config_.cost.diff_byte_us * kPageSize);
@@ -741,8 +805,23 @@ void DsmContext::flush_page_diff_locked(PageId p) {
   create_diff_into(meta.twin.get(), current, diff, kPageSize);
 
   IntervalSeq tag;
+  bool minted = false;
+  VectorTime minted_vt;
+  // Race attribution (see below): the newest interval that listed p BEFORE
+  // this flush, and its close-time sync clock if still on file.
+  IntervalSeq prev_listed = 0;
+  VectorTime prev_svt;
+  bool have_prev_svt = false;
   {
     std::lock_guard<std::mutex> tl(table_mutex_);
+    if (race_ != nullptr) {
+      prev_listed = last_listed_[p];
+      const auto it = close_sync_vts_.find(prev_listed);
+      if (it != close_sync_vts_.end()) {
+        prev_svt = it->second;
+        have_prev_svt = true;
+      }
+    }
     if (meta.written_since_flush && !diff.empty()) {
       // The twin holds writes no published interval covers yet. Mint a
       // fresh interval for them: its record carries our CURRENT vector
@@ -752,15 +831,54 @@ void DsmContext::flush_page_diff_locked(PageId p) {
       tag = ++vt_[id_];
       table_[id_].push_back(IntervalInfo{vt_, {p}});
       last_listed_[p] = tag;
+      sync_vt_[id_] = tag; // own intervals are always sync-known to self
       stats_->add(Counter::kIntervals);
       OMSP_TRACE_EVENT(kIntervalClose, id_, tag, 1);
       OMSP_PTRACE(p, "flush mints interval seq=%u", tag);
+      if (race_ != nullptr) {
+        minted = true;
+        minted_vt = sync_vt_;
+        close_sync_vts_[tag] = sync_vt_;
+      }
     } else {
       // All twin content is covered by published intervals listing p.
       tag = last_listed_[p];
     }
   }
   meta.written_since_flush = false;
+  // Feed the detector the delta SINCE THE LAST COLLECTION (diff against the
+  // race baseline), not the whole twin delta: a page can stay dirty across
+  // many epochs, and the cumulative twin diff would re-attribute earlier,
+  // already-ordered epochs' bytes to the freshly minted interval — phantom
+  // races against a fetcher's properly-ordered writes. The baseline diff
+  // hands each written byte to exactly one interval.
+  //
+  // Which interval: normally the fresh mint with the mint-time sync clock —
+  // the close_interval collection advances the baseline at every close, so
+  // a fetch-forced flush's delta is purely current-epoch writes (the racy-
+  // kernel shape). The exception is losing the close/flush race: a close
+  // listed p (prev_listed > race_collected_seq) but its collection loop has
+  // not reached p yet, so the delta still holds pre-close bytes — attribute
+  // it to that close's sync clock, never the mint, or no peer closing
+  // concurrently with the OLDER interval could cover it (phantom races).
+  // Post-close bytes folded into the close by that ordering are a documented
+  // miss, never a phantom.
+  if (meta.race_twin != nullptr) {
+    DiffBytes race_diff = diff_pool_.acquire();
+    create_diff_into(meta.race_twin.get(), current, race_diff, kPageSize);
+    if (!race_diff.empty()) {
+      if (have_prev_svt && prev_listed > meta.race_collected_seq) {
+        race_->record_write(id_, p, prev_listed, prev_svt,
+                            {race_diff.data(), race_diff.size()});
+      } else if (minted) {
+        race_->record_write(id_, p, tag, minted_vt,
+                            {race_diff.data(), race_diff.size()});
+      }
+      // else: nothing minted and no uncollected close — skip (conservative).
+    }
+    diff_pool_.release(std::move(race_diff));
+    meta.race_twin.reset();
+  }
 
   stats_->add(Counter::kDiffsCreated);
   stats_->add(Counter::kDiffBytesCreated, diff.size());
@@ -802,6 +920,7 @@ std::optional<IntervalRecord> DsmContext::close_interval() {
   // per-page "newest listing" marks and the watermark all publish together,
   // so a concurrent flush can never observe a half-closed interval.
   IntervalRecord rec;
+  VectorTime close_svt;
   {
     std::lock_guard<std::mutex> tl(table_mutex_);
     {
@@ -816,15 +935,58 @@ std::optional<IntervalRecord> DsmContext::close_interval() {
     rec.vt = vt_;
     table_[id_].push_back(IntervalInfo{rec.vt, rec.pages});
     for (PageId p : rec.pages) last_listed_[p] = rec.seq;
+    sync_vt_[id_] = rec.seq;
+    if (race_ != nullptr) {
+      close_sync_vts_[rec.seq] = sync_vt_;
+      close_svt = sync_vt_;
+    }
   }
   for (PageId p : rec.pages)
     OMSP_PTRACE(p, "close lists page in interval seq=%u", rec.seq);
   stats_->add(Counter::kIntervals);
   OMSP_TRACE_EVENT(kIntervalClose, id_, rec.seq, rec.pages.size());
 
+  if (race_ != nullptr) {
+    // Collect each listed page's delta-since-last-collection NOW and hand it
+    // to THIS close. Unflushed bytes can span several closes — the master's
+    // sequential-section writes predate the fork close while its region
+    // writes predate only the epilogue close — and deferring collection to
+    // the next flush or sweep would fold them all into the newest interval,
+    // one that peers closing concurrently with the OLDER interval can never
+    // cover (phantom races). Per-close collection gives each interval
+    // exactly its own bytes and advances the baseline past them.
+    for (PageId p : rec.pages) {
+      std::lock_guard<std::mutex> pl(page_lock(p));
+      PageMeta& meta = pages_[p];
+      if (meta.race_twin == nullptr) continue;
+      std::uint8_t snapshot[kPageSize];
+      heap_.snapshot_page(p, snapshot);
+      DiffBytes race_diff = diff_pool_.acquire();
+      create_diff_into(meta.race_twin.get(), snapshot, race_diff, kPageSize);
+      if (!race_diff.empty())
+        race_->record_write(id_, p, rec.seq, close_svt,
+                            {race_diff.data(), race_diff.size()});
+      diff_pool_.release(std::move(race_diff));
+      std::memcpy(meta.race_twin.get(), snapshot, kPageSize);
+      meta.race_collected_seq = rec.seq;
+    }
+  }
+
   if (config_.protocol == Protocol::kHomeLRC) {
     // Eagerly flush every dirty page's delta to its home, then retire the
-    // twin: the home becomes the (only) place data is fetched from.
+    // twin: the home becomes the (only) place data is fetched from. The
+    // transport calls happen AFTER the per-page lock is dropped: the inline
+    // transport runs the home's handler — which takes the home's own page
+    // lock — on this thread, and two contexts closing toward each other
+    // would nest their page locks in opposite orders (a lock-order
+    // inversion; ThreadSanitizer flags it). Deferring the sends keeps the
+    // diff-before-records invariant (fetch_from_home relies on it): all
+    // diffs still reach their homes before close_interval returns, and the
+    // interval records only travel after that. Queued pages keep
+    // fetch_in_progress set until their diff is sent, so a sibling thread
+    // faulting in the gap waits instead of opening a NEWER interval whose
+    // diff could overtake this one to the home.
+    std::vector<std::pair<PageId, DiffBytes>> to_home;
     for (PageId p : rec.pages) {
       std::lock_guard<std::mutex> pl(page_lock(p));
       PageMeta& meta = pages_[p];
@@ -843,18 +1005,32 @@ std::optional<IntervalRecord> DsmContext::close_interval() {
       if (auto* clock = sim::VirtualClock::current(); clock != nullptr)
         clock->charge(config_.cost.diff_create_base_us +
                       config_.cost.diff_byte_us * kPageSize);
+      // The at-close collection above already attributed this page's delta
+      // to rec.seq; the baseline dies with the twin.
+      meta.race_twin.reset();
       if (home_of(p) != id_ && !diff.empty()) {
-        ByteWriter msg;
-        msg.put<PageId>(p);
-        msg.put_span<std::uint8_t>({diff.data(), diff.size()});
-        (void)router_.transport().call(net::Envelope::request(
-            id_, home_of(p), net::MsgType::kDiffToHome, msg));
+        meta.fetch_in_progress = true;
+        to_home.emplace_back(p, std::move(diff));
+      } else {
+        diff_pool_.release(std::move(diff));
       }
-      diff_pool_.release(std::move(diff));
       meta.twin.reset();
       meta.written_since_flush = false;
       std::lock_guard<std::mutex> dl(dirty_mutex_);
       dirty_.reset(p);
+    }
+    for (auto& [p, diff] : to_home) {
+      ByteWriter msg;
+      msg.put<PageId>(p);
+      msg.put_span<std::uint8_t>({diff.data(), diff.size()});
+      (void)router_.transport().call(net::Envelope::request(
+          id_, home_of(p), net::MsgType::kDiffToHome, msg));
+      diff_pool_.release(std::move(diff));
+      {
+        std::lock_guard<std::mutex> pl(page_lock(p));
+        pages_[p].fetch_in_progress = false;
+      }
+      fetch_cv_.notify_all();
     }
     return rec;
   }
@@ -868,7 +1044,8 @@ std::optional<IntervalRecord> DsmContext::close_interval() {
   return rec;
 }
 
-void DsmContext::apply_records(const std::vector<IntervalRecord>& records) {
+void DsmContext::apply_records(const std::vector<IntervalRecord>& records,
+                               bool sync) {
   chaos_point();
   std::vector<PageId> to_invalidate;
   std::uint64_t notices = 0;
@@ -890,6 +1067,14 @@ void DsmContext::apply_records(const std::vector<IntervalRecord>& records) {
       if (rec.creator == id_) continue;
       if (vt_[rec.creator] < rec.seq) vt_[rec.creator] = rec.seq;
       vt_.merge(rec.vt);
+      if (sync) {
+        // LRC acquire semantics: a sync edge inherits the creator's full
+        // close-time knowledge, so chains of barriers/lock transfers order
+        // transitively. Data-path deliveries (sync=false) leave this clock
+        // untouched.
+        if (sync_vt_[rec.creator] < rec.seq) sync_vt_[rec.creator] = rec.seq;
+        sync_vt_.merge(rec.vt);
+      }
       for (PageId p : rec.pages) {
         ++notices;
         IntervalSeq& pend = pending_[std::size_t{p} * nc_ + rec.creator];
@@ -958,6 +1143,11 @@ std::vector<IntervalRecord> DsmContext::own_records_since(IntervalSeq since) {
 VectorTime DsmContext::vt_snapshot() {
   std::lock_guard<std::mutex> tl(table_mutex_);
   return vt_;
+}
+
+VectorTime DsmContext::sync_vt_snapshot() {
+  std::lock_guard<std::mutex> tl(table_mutex_);
+  return sync_vt_;
 }
 
 IntervalSeq DsmContext::own_seq() {
@@ -1135,7 +1325,8 @@ void DsmContext::absorb_batch_reply(PrefetchBatch& batch) {
     backing = std::make_shared<std::vector<std::uint8_t>>(std::move(reply));
   ByteReader r(zc ? *backing : reply);
   auto recs = deserialize_records(r);
-  if (!recs.empty()) apply_records(recs); // takes page locks; no mutex held
+  if (!recs.empty())
+    apply_records(recs, /*sync=*/false); // data piggyback; takes page locks
   const auto npages = r.get<std::uint32_t>();
   OMSP_CHECK_MSG(npages == batch.pages.size(),
                  "batch reply page count mismatch");
@@ -1213,6 +1404,59 @@ void DsmContext::absorb_prefetch_replies() {
 void DsmContext::clear_prefetch_buffer() {
   std::lock_guard<std::mutex> pm(prefetch_mutex_);
   prefetch_buffer_.clear();
+}
+
+void DsmContext::sync_cover(const VectorTime& vt) {
+  std::lock_guard<std::mutex> tl(table_mutex_);
+  sync_vt_.merge(vt);
+}
+
+void DsmContext::race_collect_pending() {
+  if (race_ == nullptr) return;
+  // Under lazy diffs a page nobody fetched still holds its epoch's writes in
+  // the live twin delta; record the part written SINCE THE LAST COLLECTION
+  // (diff against the race baseline — the cumulative twin delta would
+  // re-attribute earlier epochs' ordered bytes to this epoch's interval),
+  // attributed to the newest own interval listing the page (minted by
+  // close_interval at barrier arrival) with that interval's close-time SYNC
+  // vector time — it predates the episode's merges, so concurrent peers stay
+  // mutually uncovered. Nothing is flushed, charged or counted: this is a
+  // diagnostic read at a quiescent point.
+  std::vector<PageId> dirty_pages;
+  {
+    std::lock_guard<std::mutex> dl(dirty_mutex_);
+    dirty_.for_each_set(
+        [&](std::size_t p) { dirty_pages.push_back(static_cast<PageId>(p)); });
+  }
+  for (PageId p : dirty_pages) {
+    std::lock_guard<std::mutex> pl(page_lock(p));
+    PageMeta& meta = pages_[p];
+    if (meta.race_twin == nullptr) continue;
+    std::uint8_t snapshot[kPageSize];
+    heap_.snapshot_page(p, snapshot);
+    const DiffBytes diff =
+        create_diff(meta.race_twin.get(), snapshot, kPageSize);
+    if (diff.empty()) continue;
+    IntervalSeq seq;
+    VectorTime svt;
+    {
+      std::lock_guard<std::mutex> tl(table_mutex_);
+      seq = last_listed_[p];
+      const auto it = close_sync_vts_.find(seq);
+      if (it == close_sync_vts_.end())
+        continue; // interval predates the detector's window (or GC'd away)
+      svt = it->second;
+    }
+    race_->record_write(id_, p, seq, svt, {diff.data(), diff.size()});
+    // Advance the baseline: these bytes now belong to interval `seq` and
+    // must not be re-attributed by a later flush or sweep.
+    std::memcpy(meta.race_twin.get(), snapshot, kPageSize);
+    meta.race_collected_seq = seq;
+  }
+  // Per-close sync clocks are only needed until their epoch's sweep (write
+  // entries are cleared there too); drop them so the map stays tiny.
+  std::lock_guard<std::mutex> tl(table_mutex_);
+  close_sync_vts_.clear();
 }
 
 } // namespace omsp::tmk

@@ -52,6 +52,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -63,6 +64,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "net/router.hpp"
+#include "race/detector.hpp"
 #include "tmk/config.hpp"
 #include "tmk/diff.hpp"
 #include "tmk/fault_registry.hpp"
@@ -106,7 +108,16 @@ public:
 
   // Incorporate foreign interval records: store them, merge the vector time,
   // record pending write notices and invalidate affected pages.
-  void apply_records(const std::vector<IntervalRecord>& records);
+  //
+  // `sync` marks records arriving over a synchronization edge — barrier
+  // arrival/departure, fork/join, lock grant, GC exchange — and additionally
+  // merges them into the SYNC vector time the race detector orders accesses
+  // by. Data-path piggybacks (page/diff fetch replies, prefetch batches)
+  // pass false: a data fetch moves bytes, not happens-before — treating it
+  // as an ordering edge would hide a race whenever the second writer's
+  // fault lands after the first writer's stores (host-scheduling dependent).
+  void apply_records(const std::vector<IntervalRecord>& records,
+                     bool sync = true);
 
   // All records (any creator) with seq > other_vt[creator]. Used to build
   // lock-grant, barrier and diff-reply payloads.
@@ -116,6 +127,11 @@ public:
   std::vector<IntervalRecord> own_records_since(IntervalSeq since);
 
   VectorTime vt_snapshot();
+  // The synchronization-only clock (see sync_vt_): what this context knows
+  // through real sync edges alone. This is what sync_cover() on a peer
+  // should receive — passing vt_snapshot() would launder data-piggyback
+  // knowledge into the happens-before order.
+  VectorTime sync_vt_snapshot();
   IntervalSeq own_seq();
 
   // --- introspection (tests) ------------------------------------------------
@@ -160,6 +176,24 @@ public:
   // buffered is stale by then.
   void clear_prefetch_buffer();
 
+  // --- data-race detection (OMSP_RACE) ---------------------------------------
+  // Wire the system-owned detector in; every flush and fault hook feeds it.
+  // nullptr (the default) keeps all hooks inert.
+  void set_race_detector(race::Detector* d) { race_ = d; }
+  // Sync-edge hook: merge a peer's full vector time into the sync clock.
+  // Called by the system at real synchronization transfers (barrier
+  // departure, fork, join, lock grant) where the record stream alone can
+  // under-deliver: records_unknown_to() skips intervals this context already
+  // learned through data piggybacks, but after a sync edge those intervals
+  // ARE happens-before ordered and the race clock must say so.
+  void sync_cover(const VectorTime& vt);
+  // Sweep-time collection: record each dirty page's delta since the last
+  // collection (diff against the page's race twin) as a write of the page's
+  // current unflushed interval. Uncounted (no stats, no clock charge — a
+  // diagnostic read, not protocol traffic); only called from the system's
+  // quiescent-point sweep.
+  void race_collect_pending();
+
 private:
   struct PageMeta {
     PageState state = PageState::kRead;
@@ -184,6 +218,18 @@ private:
     // Pooled 4 KB block (PagePool::Handle returns it to twin_pool_ on reset;
     // same null/reset discipline as the unique_ptr it replaced).
     PagePool::Handle twin;
+    // Race-detection baseline (detector on only): the page content at the
+    // last time the detector collected this page's delta. Born equal to the
+    // twin, advanced to the current content at every collection, and patched
+    // with the same remote bytes as the twin — so (current − race_twin) is
+    // exactly the local writes not yet attributed to an interval, while the
+    // protocol twin keeps its own lifecycle untouched. Dies with the twin.
+    PagePool::Handle race_twin;
+    // Newest own interval seq whose close (or the sweep) has collected this
+    // page's delta. Lets a fetch-forced flush tell pre-close bytes (a close
+    // listed p but has not collected it yet — attribute to that close) from
+    // current-epoch bytes (attribute to the freshly minted interval).
+    IntervalSeq race_collected_seq = 0;
     // Per-interval diffs created by this context for this page, seq ascending.
     std::vector<std::pair<IntervalSeq, DiffBytes>> stored_diffs;
   };
@@ -289,6 +335,7 @@ private:
   std::uint32_t nc_ = 0; // cached num_contexts
   net::Router& router_;
   StatsBoard* stats_;
+  race::Detector* race_ = nullptr;
   HeapMapping heap_;
 
   bool per_page_locks_;
@@ -312,6 +359,13 @@ private:
 
   std::mutex table_mutex_;
   VectorTime vt_;
+  // Synchronization-only vector time (guarded by table_mutex_ like vt_):
+  // advanced by own interval closes and by apply_records(sync=true) merges,
+  // never by data-path piggybacks. sync_vt_ <= vt_ componentwise. The race
+  // detector captures THIS clock in its write entries, so two accesses look
+  // ordered only when a real sync chain (barrier, fork/join, lock transfer)
+  // connects them — not when one merely fetched the other's bytes.
+  VectorTime sync_vt_;
   // Interval records per creator; the record for (c, seq) lives at index
   // seq - 1 - table_base_[c]. GC advances the base and drops the prefix.
   std::vector<std::vector<IntervalInfo>> table_;
@@ -322,6 +376,10 @@ private:
   // applied_[p * ncontexts + c]: newest diff seq applied for (p, c).
   std::vector<IntervalSeq> pending_;
   std::vector<IntervalSeq> applied_;
+  // Close-time sync_vt_ per own interval seq, populated (detector on only)
+  // by close_interval and the flush mint branch, consumed and cleared by
+  // race_collect_pending at the next sweep. Guarded by table_mutex_.
+  std::map<IntervalSeq, VectorTime> close_sync_vts_;
 };
 
 } // namespace omsp::tmk

@@ -64,6 +64,9 @@ DsmSystem::DsmSystem(Config config)
   // before any context is constructed so every fetch path sees one answer.
   if (!config_.zerocopy.enabled)
     config_.zerocopy = net::ZeroCopyOptions::from_env();
+  // Data-race detection, same pattern (OMSP_RACE); resolved before any
+  // context is constructed so every fault/flush hook sees one answer.
+  if (!config_.race.enabled()) config_.race = race::Options::from_env();
   if (overlap.enabled || perturb.enabled) {
     std::unique_ptr<net::Transport> t =
         std::make_unique<net::InlineTransport>(*router_);
@@ -78,6 +81,10 @@ DsmSystem::DsmSystem(Config config)
   contexts_.reserve(nc);
   for (ContextId c = 0; c < nc; ++c)
     contexts_.push_back(std::make_unique<DsmContext>(c, config_, *router_));
+  if (config_.race.enabled()) {
+    race_ = std::make_unique<race::Detector>(config_.race, nc);
+    for (auto& c : contexts_) c->set_race_detector(race_.get());
+  }
 
   clocks_.reserve(np);
   for (Rank r = 0; r < np; ++r)
@@ -183,6 +190,11 @@ void DsmSystem::parallel(const std::function<void(Rank)>& fn) {
     router_->stats(0).add(Counter::kWriteNoticesSent, notices);
     if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, 0, notices);
     contexts_[c]->apply_records(recs);
+    // Fork is a sync edge: the slave's race clock inherits everything the
+    // master sync-knows, even intervals the record stream skipped because
+    // the slave already held them via data piggybacks.
+    if (race_ != nullptr)
+      contexts_[c]->sync_cover(contexts_[0]->sync_vt_snapshot());
     fork_start_time_[c] = mnow + cost;
   }
   {
@@ -212,6 +224,8 @@ void DsmSystem::parallel(const std::function<void(Rank)>& fn) {
     router_->stats(c).add(Counter::kWriteNoticesSent, notices);
     if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, c, notices);
     contexts_[0]->apply_records(recs);
+    if (race_ != nullptr) // join: master sync-inherits each slave's clock
+      contexts_[0]->sync_cover(contexts_[c]->sync_vt_snapshot());
     // Master resumes after the last join message arrives.
     for (Rank r = 0; r < nprocs(); ++r)
       if (config_.context_of_rank(r) == c)
@@ -220,6 +234,10 @@ void DsmSystem::parallel(const std::function<void(Rank)>& fn) {
   for (Rank r = 0; r < nprocs(); ++r)
     if (config_.context_of_rank(r) == 0) mclk.advance_to(join_times_[r]);
   mclk.skip_cpu();
+
+  // Join is a quiescent point like a barrier episode: sweep the epoch's
+  // write histories before anything can flush on top of them.
+  maybe_race_sweep();
 
   // Quiescent point: every slave has run its epilogue and emits nothing
   // until the next fork, so the rings can be drained safely (after any
@@ -281,6 +299,12 @@ void DsmSystem::barrier() {
       // Last arrival: perform the manager's work on this thread.
       contexts_[0]->apply_records(bar_pending_arrivals_);
       bar_pending_arrivals_.clear();
+      // Barrier arrivals are sync edges into the manager; departures below
+      // hand the merged clock back out. Write entries carry close-time
+      // clocks, so this can never mask the epoch's own races.
+      if (race_ != nullptr)
+        for (ContextId c = 1; c < config_.num_contexts(); ++c)
+          contexts_[0]->sync_cover(contexts_[c]->sync_vt_snapshot());
       const double depart =
           bar_max_arrival_ + config_.cost.barrier_service_us;
       bar_departure_time_[0] = depart;
@@ -296,11 +320,17 @@ void DsmSystem::barrier() {
         router_->stats(0).add(Counter::kWriteNoticesSent, notices);
         if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, 0, notices);
         contexts_[c]->apply_records(recs);
+        if (race_ != nullptr)
+          contexts_[c]->sync_cover(contexts_[0]->sync_vt_snapshot());
         bar_departure_time_[c] = depart + inject_backlog + cost;
         inject_backlog +=
             config_.cost.occupancy_us(bytes + net::kHeaderBytes);
       }
     }
+    // The race sweep must see the epoch as the merge left it: GC and
+    // prefetch below force flushes that mint post-merge intervals whose vts
+    // cover — and would mask — the concurrent pairs of this epoch.
+    maybe_race_sweep();
     maybe_collect_garbage();
     start_prefetch_rounds();
     // Every other worker is parked in the wait below — a quiescent point;
@@ -320,6 +350,15 @@ void DsmSystem::barrier() {
   clk.skip_cpu();
   OMSP_TRACE_EVENT(kBarrierWait, cid, mygen, 0, std::uint16_t{0},
                    clk.now_us() - wait_t0);
+}
+
+void DsmSystem::maybe_race_sweep() {
+  if (race_ == nullptr) return;
+  // Pull the epoch's not-yet-flushed writes (live twin deltas) into the
+  // detector first: under lazy diffs a page nobody fetched has no flushed
+  // diff yet, but its twin delta is exactly what the flush would publish.
+  for (auto& c : contexts_) c->race_collect_pending();
+  race_->sweep(router_->stats(0));
 }
 
 void DsmSystem::coll_stage(ContextId sender, std::uint32_t level,
@@ -361,6 +400,8 @@ void DsmSystem::tree_barrier_episode() {
     if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, m, notices);
     coll_stage(m, sched.level(m), parent, bytes + net::kHeaderBytes);
     contexts_[parent]->apply_records(recs);
+    if (race_ != nullptr) // tree arrival: sync edge child -> leader
+      contexts_[parent]->sync_cover(contexts_[m]->sync_vt_snapshot());
     ready[parent] =
         std::max(ready[parent], ready[m] + sink_backlog[parent] + cost);
     sink_backlog[parent] += config_.cost.occupancy_us(bytes + net::kHeaderBytes);
@@ -386,6 +427,8 @@ void DsmSystem::tree_barrier_episode() {
     if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, parent, notices);
     coll_stage(parent, sched.level(m), parent, bytes + net::kHeaderBytes);
     contexts_[m]->apply_records(recs);
+    if (race_ != nullptr) // tree departure: sync edge leader -> child
+      contexts_[m]->sync_cover(contexts_[parent]->sync_vt_snapshot());
     bar_departure_time_[m] =
         bar_departure_time_[parent] + inject_backlog[parent] + cost;
     inject_backlog[parent] +=
@@ -409,6 +452,11 @@ double DsmSystem::grant_lock(LockId l, LockState& st, ContextId to_ctx,
   if (notices > 0) OMSP_TRACE_EVENT(kWriteNoticesSent, from, notices);
   OMSP_TRACE_EVENT(kLockGrant, from, l, to_ctx);
   contexts_[to_ctx]->apply_records(recs);
+  // Lock transfer: LRC acquire semantics hand the acquirer everything the
+  // releaser sync-knows (the grant's record stream alone under-delivers when
+  // the acquirer already held some records via data piggybacks).
+  if (race_ != nullptr)
+    contexts_[to_ctx]->sync_cover(contexts_[from]->sync_vt_snapshot());
 
   st.held = true;
   st.holder_ctx = to_ctx;
@@ -629,11 +677,15 @@ void DsmSystem::maybe_collect_garbage() {
   for (ContextId c = 1; c < nc; ++c) {
     auto recs = contexts_[c]->records_unknown_to(contexts_[0]->vt_snapshot());
     contexts_[0]->apply_records(recs);
+    if (race_ != nullptr) // GC's gather is a sync edge into the manager
+      contexts_[0]->sync_cover(contexts_[c]->sync_vt_snapshot());
   }
   const VectorTime everything = contexts_[0]->vt_snapshot();
   for (ContextId c = 1; c < nc; ++c) {
     auto recs = contexts_[0]->records_unknown_to(contexts_[c]->vt_snapshot());
     contexts_[c]->apply_records(recs);
+    if (race_ != nullptr) // ... and the push-back hands the union out
+      contexts_[c]->sync_cover(contexts_[0]->sync_vt_snapshot());
     OMSP_CHECK_MSG(contexts_[c]->vt_snapshot() == everything,
                    "GC requires identical vector times");
   }

@@ -31,6 +31,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "net/router.hpp"
+#include "race/detector.hpp"
 #include "sim/virtual_clock.hpp"
 #include "tmk/config.hpp"
 #include "tmk/context.hpp"
@@ -106,6 +107,8 @@ public:
   // The tracer owned by this system, or nullptr when tracing is off (or
   // another DsmSystem already holds the process-global tracer slot).
   trace::Tracer* tracer() { return tracer_.get(); }
+  // The data-race detector, or nullptr when OMSP_RACE is off (the default).
+  race::Detector* race_detector() { return race_.get(); }
 
 private:
   struct LockWaiter {
@@ -149,6 +152,12 @@ private:
   // Transfer lock `l` (state `st`) from st.cached_at to (to_ctx,to_rank);
   // computes the grant time. locks_mutex_ held.
   double grant_lock(LockId l, LockState& st, ContextId to_ctx, Rank to_rank);
+  // Race-detector sweep at a quiescent point (barrier episode / join): pull
+  // the not-yet-flushed twin deltas of every context into the detector, then
+  // run the pairwise concurrency check. No-op when the detector is off.
+  // Must run BEFORE GC/prefetch, whose forced flushes would mint post-merge
+  // intervals that causally cover — and so mask — the races of the epoch.
+  void maybe_race_sweep();
 
   // Send a typed one-way notification through the transport layer; returns
   // the modeled one-way cost. The payload itself (interval records, vector
@@ -167,6 +176,7 @@ private:
   Config config_;
   std::unique_ptr<trace::Tracer> tracer_;
   std::unique_ptr<net::Router> router_;
+  std::unique_ptr<race::Detector> race_;
   std::vector<std::unique_ptr<DsmContext>> contexts_;
   std::vector<std::unique_ptr<sim::VirtualClock>> clocks_;
 

@@ -87,6 +87,19 @@ enum class EventKind : std::uint16_t {
                      // kZeroCopyBytes += arg1). Wall-clock only: the
                      // message's own accounting and modeled costs are
                      // emitted unchanged by the copy-path sites.
+  kRaceCheck,        // counter-bearing: one detector sweep that ran at least
+                     // one pairwise concurrency check (OMSP_RACE); arg0 =
+                     // pair checks performed, arg1 = write entries swept;
+                     // ctx = 0 (the sweep runs at a quiescent point)
+                     // (kRaceChecks += arg0)
+  kRaceDetected,     // counter-bearing: one write-write race report; arg0 =
+                     // (page << 32) | (lo << 16) | hi — the overlapping byte
+                     // range [lo, hi) within the page; arg1 = (ctx_a << 48) |
+                     // (ctx_b << 32) | ((seq_a & 0xffff) << 16) |
+                     // (seq_b & 0xffff) — the racing writers and their
+                     // interval seqs (16-bit truncated on the wire; full
+                     // values live in race::Detector::reports()); ctx = 0
+                     // (kRacesDetected += 1)
   kCount
 };
 
@@ -109,7 +122,7 @@ inline const char* event_name(EventKind k) {
                "region_begin",   "region_end",   "diff_fetch_async",
                "prefetch_batch", "prefetch_hit", "message_lost",
                "retransmit",     "ack",          "coll_stage",
-               "zerocopy_deliver"};
+               "zerocopy_deliver", "race_check", "race_detected"};
   return names[static_cast<std::size_t>(k)];
 }
 

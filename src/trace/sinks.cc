@@ -127,7 +127,18 @@ void append_args(std::string& out, const Event& e) {
     std::snprintf(buf, sizeof buf,
                   "{\"bytes\":%" PRIu64 ",\"level\":%" PRIu64
                   ",\"leader\":%" PRIu64 "}",
-                  e.arg0, e.arg1 >> 32, e.arg1 & 0xFFFFFFFFull);
+                  e.arg0, e.arg1 >> 32, e.arg1 & std::uint64_t{0xFFFFFFFF});
+    break;
+  case EventKind::kRaceDetected:
+    std::snprintf(buf, sizeof buf,
+                  "{\"page\":%" PRIu64 ",\"lo\":%" PRIu64 ",\"hi\":%" PRIu64
+                  ",\"ctx_a\":%" PRIu64 ",\"ctx_b\":%" PRIu64
+                  ",\"seq_a\":%" PRIu64 ",\"seq_b\":%" PRIu64 "}",
+                  e.arg0 >> 32, (e.arg0 >> 16) & std::uint64_t{0xFFFF},
+                  e.arg0 & std::uint64_t{0xFFFF}, e.arg1 >> 48,
+                  (e.arg1 >> 32) & std::uint64_t{0xFFFF},
+                  (e.arg1 >> 16) & std::uint64_t{0xFFFF},
+                  e.arg1 & std::uint64_t{0xFFFF});
     break;
   default:
     std::snprintf(buf, sizeof buf, "{\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64
@@ -282,6 +293,12 @@ StatsSnapshot reconstruct_counters(const std::vector<Event>& events) {
     case EventKind::kZeroCopyDeliver:
       s[Counter::kZeroCopyDeliveries] += 1;
       s[Counter::kZeroCopyBytes] += e.arg1;
+      break;
+    case EventKind::kRaceCheck:
+      s[Counter::kRaceChecks] += e.arg0;
+      break;
+    case EventKind::kRaceDetected:
+      s[Counter::kRacesDetected] += 1;
       break;
     case EventKind::kLockGrant:
     case EventKind::kBarrierWait:

@@ -37,7 +37,11 @@ inline constexpr char kTraceMagic[8] = {'O', 'M', 'S', 'P',
 // Version 6: adds the zero-copy intra-node delivery kind kZeroCopyDeliver
 // (arg0 = peer ctx, arg1 = bytes viewed) and the zerocopy_deliveries/
 // zerocopy_bytes counters (OMSP_ZEROCOPY).
-inline constexpr std::uint32_t kTraceVersion = 6;
+// Version 7: adds the data-race detector kinds kRaceCheck (arg0 = pair
+// checks, arg1 = entries swept) and kRaceDetected (arg0 = (page<<32)|
+// (lo<<16)|hi, arg1 = packed writer ctxs + interval seqs) and the
+// race_checks/races_detected counters (OMSP_RACE).
+inline constexpr std::uint32_t kTraceVersion = 7;
 
 struct TraceFile {
   std::vector<Event> events;

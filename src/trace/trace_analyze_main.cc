@@ -3,6 +3,7 @@
 //   omsp-trace summary <run.trace>            event census + audit verdict
 //   omsp-trace pages   <run.trace> [--top N]  per-page fault/diff heatmap
 //   omsp-trace threads <run.trace>            per-rank virtual-time breakdown
+//   omsp-trace races   <run.trace>            data-race report digest (v7)
 //   omsp-trace check   <run.trace>            trace totals vs embedded counters
 //   omsp-trace export  <run.trace> -o t.json  convert to Chrome trace JSON
 //   omsp-trace record  <sor|tsp> [--mode thread|process] [-o base]
@@ -40,7 +41,8 @@ using namespace omsp::trace;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: omsp-trace <summary|pages|threads|check|export|record> ...\n"
+      "usage: omsp-trace <summary|pages|threads|races|check|export|record> "
+      "...\n"
       "       omsp-trace --self-check\n");
   return 2;
 }
@@ -198,6 +200,67 @@ void cmd_pages(const TraceFile& tf, std::size_t top) {
       std::fputs(shades[h * 7 / peak], stdout);
     std::printf("]\n");
   }
+}
+
+// ---------------------------------------------------------------------------
+
+// Digest of the vector-clock detector's output (OMSP_RACE traces, v7): sweep
+// totals, then one row per distinct (page, writer pair) with the merged byte
+// range — the shape a user needs to map a report back to a data structure.
+// Exit status mirrors the verdict so scripts can assert "race-clean".
+int cmd_races(const TraceFile& tf) {
+  struct PairRow {
+    std::uint64_t reports = 0;
+    std::uint64_t lo = ~std::uint64_t{0}, hi = 0; // merged byte range
+    std::uint64_t seq_a = 0, seq_b = 0;           // example interval pair
+  };
+  std::uint64_t sweeps = 0, checks = 0, entries = 0;
+  // Key: page << 32 | ctx_a << 16 | ctx_b (ctx pairs are 16-bit on the wire).
+  std::map<std::uint64_t, PairRow> pairs;
+  for (const Event& e : tf.events) {
+    if (e.kind == EventKind::kRaceCheck) {
+      ++sweeps;
+      checks += e.arg0;
+      entries += e.arg1;
+    } else if (e.kind == EventKind::kRaceDetected) {
+      const std::uint64_t page = e.arg0 >> 32;
+      const std::uint64_t lo = (e.arg0 >> 16) & 0xFFFFu;
+      const std::uint64_t hi = e.arg0 & 0xFFFFu;
+      const std::uint64_t ctx_a = e.arg1 >> 48;
+      const std::uint64_t ctx_b = (e.arg1 >> 32) & 0xFFFFu;
+      PairRow& row = pairs[page << 32 | ctx_a << 16 | ctx_b];
+      ++row.reports;
+      row.lo = std::min(row.lo, lo);
+      row.hi = std::max(row.hi, hi);
+      row.seq_a = (e.arg1 >> 16) & 0xFFFFu;
+      row.seq_b = e.arg1 & 0xFFFFu;
+    }
+  }
+  if (sweeps == 0) {
+    std::printf("no detector sweeps in this trace — was it recorded with "
+                "OMSP_RACE=page|word?\n");
+    return 2;
+  }
+  std::printf("%" PRIu64 " detector sweeps, %" PRIu64 " pairwise checks over %"
+              PRIu64 " write entries\n",
+              sweeps, checks, entries);
+  if (pairs.empty()) {
+    std::printf("race-clean: no concurrent overlapping writes detected\n");
+    return 0;
+  }
+  std::uint64_t total = 0;
+  for (const auto& [key, row] : pairs) total += row.reports;
+  std::printf("\n%" PRIu64 " write-write race report(s), %zu distinct "
+              "(page, writer-pair) site(s):\n\n",
+              total, pairs.size());
+  std::printf("%8s %8s %16s %8s %18s\n", "page", "writers", "bytes[lo,hi)",
+              "reports", "example seqs");
+  for (const auto& [key, row] : pairs)
+    std::printf("%8" PRIu64 " %3" PRIu64 "|%-4" PRIu64 " [%6" PRIu64 ",%6"
+                PRIu64 ") %8" PRIu64 "     s%" PRIu64 "|s%" PRIu64 "\n",
+                key >> 32, (key >> 16) & 0xFFFFu, key & 0xFFFFu, row.lo,
+                row.hi, row.reports, row.seq_a, row.seq_b);
+  return 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -370,7 +433,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd != "summary" && cmd != "pages" && cmd != "threads" &&
-      cmd != "check" && cmd != "export")
+      cmd != "races" && cmd != "check" && cmd != "export")
     return usage();
   if (argc < 3) return usage();
   // Friendly error for a mistyped path; read_binary OMSP_CHECK-aborts.
@@ -399,6 +462,7 @@ int main(int argc, char** argv) {
     cmd_threads(tf);
     return 0;
   }
+  if (cmd == "races") return cmd_races(tf);
   if (cmd == "check") return audit(tf, /*verbose=*/true) ? 0 : 1;
   if (cmd == "export") {
     std::string out;

@@ -1,0 +1,439 @@
+#include "translate/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <set>
+#include <string_view>
+
+#include "translate/directive.hpp"
+#include "translate/source.hpp"
+
+namespace omsp::translate {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Type keywords that open a declaration; the next identifier (skipping
+// cv-qualifiers and declarator punctuation) names a region-local variable.
+bool is_type_keyword(const std::string& tok) {
+  static const std::set<std::string> kTypes = {
+      "auto",    "bool",     "char",     "double", "float",
+      "int",     "long",     "short",    "signed", "unsigned",
+      "size_t",  "int8_t",   "int16_t",  "int32_t", "int64_t",
+      "uint8_t", "uint16_t", "uint32_t", "uint64_t", "void",
+  };
+  if (kTypes.count(tok) != 0) {
+    return true;
+  }
+  // std::size_t, std::int64_t, my_t — common typedef spellings.
+  if (tok.size() > 2 && tok.compare(tok.size() - 2, 2, "_t") == 0) {
+    return true;
+  }
+  return false;
+}
+
+// Qualifiers that may precede a type keyword without ending the declaration.
+bool is_decl_qualifier(const std::string& tok) {
+  return tok == "const" || tok == "static" || tok == "volatile" ||
+         tok == "register" || tok == "constexpr" || tok == "std";
+}
+
+bool is_keyword(const std::string& tok) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "else",   "for",      "while",  "do",      "switch",
+      "case",   "default","break",    "continue","return", "goto",
+      "sizeof", "new",    "delete",   "true",   "false",   "nullptr",
+      "struct", "class",  "enum",     "union",  "typedef", "using",
+      "namespace", "template", "operator", "this",
+  };
+  return kKeywords.count(tok) != 0 || is_type_keyword(tok) ||
+         is_decl_qualifier(tok);
+}
+
+std::size_t line_of(const std::string& src, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(src.begin(), src.begin() + static_cast<long>(pos),
+                            '\n'));
+}
+
+// End of a `#pragma` line honoring backslash continuations (same rule the
+// code generator uses when it consumes directives).
+std::size_t pragma_line_end(const std::string& src, std::size_t pos) {
+  std::size_t end = pos;
+  while (end < src.size()) {
+    std::size_t nl = src.find('\n', end);
+    if (nl == std::string::npos) {
+      return src.size();
+    }
+    std::size_t back = nl;
+    while (back > end && (src[back - 1] == ' ' || src[back - 1] == '\t' ||
+                          src[back - 1] == '\r')) {
+      --back;
+    }
+    if (back > end && src[back - 1] == '\\') {
+      end = nl + 1;
+      continue;
+    }
+    return nl;
+  }
+  return src.size();
+}
+
+// Directive text (everything after "omp") if `pos` is at a `#pragma omp`
+// line; npos-marked failure otherwise.
+std::optional<std::string> omp_directive_text(const std::string& src,
+                                              std::size_t pragma_pos,
+                                              std::size_t* line_end) {
+  std::size_t after = pragma_pos + std::string_view("#pragma").size();
+  std::size_t p = skip_blank(src, after);
+  if (src.compare(p, 3, "omp") != 0 ||
+      (p + 3 < src.size() && is_ident_char(src[p + 3]))) {
+    return std::nullopt;
+  }
+  *line_end = pragma_line_end(src, pragma_pos);
+  std::string text = src.substr(p + 3, *line_end - (p + 3));
+  for (char& c : text) {
+    if (c == '\\' || c == '\r') {
+      c = ' ';
+    }
+  }
+  return text;
+}
+
+struct Write {
+  std::size_t pos = 0;        // offset of the base identifier
+  std::string var;            // base identifier written
+  bool subscripted = false;   // wrote through var[...]
+  std::string subscript;      // concatenated index expression text
+};
+
+// One parallel region being linted.
+struct RegionScan {
+  std::set<std::string> safe;      // clause vars + locals declared inside
+  std::set<std::string> part_vars; // vars that partition array subscripts
+  std::vector<Write> writes;
+};
+
+void add_clause_vars(const Directive& d, RegionScan* scan) {
+  for (const auto& list : {d.private_vars, d.firstprivate_vars,
+                           d.threadprivate_vars}) {
+    for (const auto& v : list) {
+      scan->safe.insert(v);
+      scan->part_vars.insert(v);
+    }
+  }
+  for (const auto& red : d.reductions) {
+    for (const auto& v : red.vars) {
+      scan->safe.insert(v);
+      scan->part_vars.insert(v);
+    }
+  }
+}
+
+// Scan `src[pos, end)` — the body of one parallel region — collecting
+// unprotected writes into `scan`. Recursion handles nested constructs;
+// `protected_ctx` is true inside critical/single/master extents.
+void scan_region(const std::string& src, std::size_t pos, std::size_t end,
+                 RegionScan* scan, bool protected_ctx) {
+  bool decl_pending = false;  // a type keyword opened a declaration
+  bool decl_stmt = false;     // inside that declaration, up to ';'
+  bool inc_dec_pending = false;
+  while (pos < end) {
+    char c = src[pos];
+    // Comments and literals never contain lintable writes.
+    if (c == '/' && pos + 1 < end && src[pos + 1] == '/') {
+      pos = std::min(end, src.find('\n', pos));
+      continue;
+    }
+    if (c == '/' && pos + 1 < end && src[pos + 1] == '*') {
+      std::size_t close = src.find("*/", pos + 2);
+      pos = close == std::string::npos ? end : std::min(end, close + 2);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++pos;
+      while (pos < end && src[pos] != quote) {
+        pos += src[pos] == '\\' ? 2 : 1;
+      }
+      ++pos;
+      continue;
+    }
+    if (c == '#') {
+      std::size_t line_end = 0;
+      auto text = omp_directive_text(src, pos, &line_end);
+      if (!text.has_value()) {
+        pos = std::min(end, pragma_line_end(src, pos)); // other preprocessor
+        continue;
+      }
+      std::string error;
+      auto dir = parse_directive(*text, &error);
+      if (!dir.has_value()) {
+        pos = std::min(end, line_end);
+        continue;
+      }
+      std::size_t stmt_begin = skip_blank(src, line_end);
+      switch (dir->kind) {
+        case DirectiveKind::kCritical:
+        case DirectiveKind::kSingle:
+        case DirectiveKind::kMaster: {
+          // Writes under mutual exclusion (or a single executor) are safe;
+          // skip the whole construct.
+          auto extent = statement_end(src, stmt_begin);
+          pos = extent.has_value() ? std::min(end, *extent)
+                                   : std::min(end, line_end);
+          continue;
+        }
+        case DirectiveKind::kFor:
+        case DirectiveKind::kParallelFor: {
+          add_clause_vars(*dir, scan);
+          std::string error2;
+          auto header = parse_for_header(src, stmt_begin, &error2);
+          if (header.has_value()) {
+            // The worksharing loop variable both is private and partitions
+            // any subscript it appears in.
+            scan->safe.insert(header->var);
+            scan->part_vars.insert(header->var);
+          }
+          pos = std::min(end, line_end); // fall through into the loop text
+          continue;
+        }
+        case DirectiveKind::kParallel:
+        case DirectiveKind::kSections:
+        case DirectiveKind::kSection:
+        case DirectiveKind::kThreadPrivate:
+          add_clause_vars(*dir, scan);
+          pos = std::min(end, line_end);
+          continue;
+        case DirectiveKind::kBarrier:
+          pos = std::min(end, line_end);
+          continue;
+      }
+      pos = std::min(end, line_end);
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t id_begin = pos;
+      while (pos < end && is_ident_char(src[pos])) {
+        ++pos;
+      }
+      std::string tok = src.substr(id_begin, pos - id_begin);
+      if (decl_pending && !is_keyword(tok)) {
+        // `long local` / `double* row` — the declarator names a local.
+        scan->safe.insert(tok);
+        decl_pending = false;
+        inc_dec_pending = false;
+        continue;
+      }
+      if (is_type_keyword(tok)) {
+        decl_pending = true;
+        decl_stmt = true;
+        inc_dec_pending = false;
+        continue;
+      }
+      if (is_keyword(tok)) {
+        inc_dec_pending = false;
+        continue;
+      }
+      // Follow the access chain: subscripts and member selections keep the
+      // base variable as the store target.
+      bool subscripted = false;
+      std::string subscript;
+      std::size_t after = skip_blank(src, pos);
+      while (after < end) {
+        if (src[after] == '[') {
+          int depth = 1;
+          std::size_t close = after + 1;
+          while (close < end && depth > 0) {
+            depth += src[close] == '[' ? 1 : (src[close] == ']' ? -1 : 0);
+            ++close;
+          }
+          subscripted = true;
+          subscript += src.substr(after + 1, close - after - 2);
+          subscript += ' ';
+          after = skip_blank(src, close);
+          continue;
+        }
+        if (src[after] == '.' ||
+            (src[after] == '-' && after + 1 < end && src[after + 1] == '>')) {
+          std::size_t m = after + (src[after] == '.' ? 1 : 2);
+          m = skip_blank(src, m);
+          while (m < end && is_ident_char(src[m])) {
+            ++m;
+          }
+          after = skip_blank(src, m);
+          continue;
+        }
+        break;
+      }
+      bool is_write = inc_dec_pending;
+      inc_dec_pending = false;
+      if (!is_write && after < end) {
+        std::string_view rest(src.data() + after,
+                              std::min<std::size_t>(3, end - after));
+        if (rest.rfind("++", 0) == 0 || rest.rfind("--", 0) == 0) {
+          is_write = true;
+        } else if (rest.size() >= 3 &&
+                   (rest.substr(0, 3) == "<<=" || rest.substr(0, 3) == ">>=")) {
+          is_write = true;
+        } else if (rest.size() >= 2 && rest[1] == '=' &&
+                   std::string_view("+-*/%&|^").find(rest[0]) !=
+                       std::string_view::npos) {
+          is_write = true;
+        } else if (rest[0] == '=' && (rest.size() < 2 || rest[1] != '=')) {
+          is_write = true;
+        }
+      }
+      if (is_write && !protected_ctx) {
+        // `*p = ...` writes through a pointer, not to `p`; skip (blind spot).
+        std::size_t back = id_begin;
+        while (back > 0 && (src[back - 1] == ' ' || src[back - 1] == '\t' ||
+                            src[back - 1] == '\n')) {
+          --back;
+        }
+        bool deref = back > 0 && src[back - 1] == '*';
+        if (!deref) {
+          scan->writes.push_back(
+              Write{id_begin, tok, subscripted, subscript});
+        }
+      }
+      pos = after;
+      continue;
+    }
+    if (c == '+' && pos + 1 < end && src[pos + 1] == '+') {
+      inc_dec_pending = true;
+      pos += 2;
+      continue;
+    }
+    if (c == '-' && pos + 1 < end && src[pos + 1] == '-') {
+      inc_dec_pending = true;
+      pos += 2;
+      continue;
+    }
+    if (c == ';') {
+      decl_pending = false;
+      decl_stmt = false;
+      inc_dec_pending = false;
+      ++pos;
+      continue;
+    }
+    if (c == ',') {
+      // `int a = 1, b;` — the next declarator is a local too.
+      decl_pending = decl_stmt;
+      ++pos;
+      continue;
+    }
+    if (c == '*' || c == '&') {
+      ++pos; // declarator punctuation keeps decl_pending alive
+      continue;
+    }
+    if (c == '=' || c == '(') {
+      decl_pending = false; // initializer / call: idents inside are reads
+      ++pos;
+      continue;
+    }
+    inc_dec_pending = false;
+    ++pos;
+  }
+}
+
+bool subscript_is_partitioned(const RegionScan& scan, const Write& w) {
+  std::size_t pos = 0;
+  while (pos < w.subscript.size()) {
+    if (!is_ident_start(w.subscript[pos])) {
+      ++pos;
+      continue;
+    }
+    std::size_t begin = pos;
+    while (pos < w.subscript.size() && is_ident_char(w.subscript[pos])) {
+      ++pos;
+    }
+    if (scan.part_vars.count(w.subscript.substr(begin, pos - begin)) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Top-level walk: find each `#pragma omp parallel` / `parallel for` region
+// and lint its extent.
+void lint_range(const std::string& src, std::size_t pos, std::size_t end,
+                std::vector<LintDiagnostic>* out) {
+  while (pos < end) {
+    std::size_t pragma_pos = src.find("#pragma", pos);
+    if (pragma_pos == std::string::npos || pragma_pos >= end) {
+      return;
+    }
+    std::size_t line_end = 0;
+    auto text = omp_directive_text(src, pragma_pos, &line_end);
+    if (!text.has_value()) {
+      pos = pragma_line_end(src, pragma_pos) + 1;
+      continue;
+    }
+    std::string error;
+    auto dir = parse_directive(*text, &error);
+    if (!dir.has_value() || (dir->kind != DirectiveKind::kParallel &&
+                             dir->kind != DirectiveKind::kParallelFor)) {
+      pos = line_end + 1;
+      continue;
+    }
+    std::size_t body_begin = skip_blank(src, line_end);
+    auto extent = statement_end(src, body_begin);
+    std::size_t body_end = extent.has_value() ? std::min(end, *extent) : end;
+
+    RegionScan scan;
+    add_clause_vars(*dir, &scan);
+    if (dir->kind == DirectiveKind::kParallelFor) {
+      std::string error2;
+      auto header = parse_for_header(src, body_begin, &error2);
+      if (header.has_value()) {
+        scan.safe.insert(header->var);
+        scan.part_vars.insert(header->var);
+      }
+    }
+    scan_region(src, body_begin, body_end, &scan, /*protected_ctx=*/false);
+
+    std::set<std::string> reported;
+    for (const auto& w : scan.writes) {
+      if (scan.safe.count(w.var) != 0) {
+        continue;
+      }
+      if (w.subscripted && subscript_is_partitioned(scan, w)) {
+        continue;
+      }
+      if (!reported.insert(w.var).second) {
+        continue;
+      }
+      LintDiagnostic d;
+      d.line = line_of(src, w.pos);
+      d.var = w.var;
+      d.message = "line " + std::to_string(d.line) +
+                  ": warning: shared variable '" + w.var +
+                  "' written in parallel region without "
+                  "reduction/critical/ordered protection [-Wshared-write]";
+      out->push_back(std::move(d));
+    }
+    pos = body_end;
+  }
+}
+
+} // namespace
+
+std::vector<LintDiagnostic> lint_source(const std::string& src) {
+  std::vector<LintDiagnostic> out;
+  lint_range(src, 0, src.size(), &out);
+  std::sort(out.begin(), out.end(),
+            [](const LintDiagnostic& a, const LintDiagnostic& b) {
+              return a.line != b.line ? a.line < b.line : a.var < b.var;
+            });
+  return out;
+}
+
+} // namespace omsp::translate

@@ -1,0 +1,43 @@
+// Static shared-access lint for the translator (the OMP2MPI-style
+// directive-level classification that makes automatic OpenMP lowering onto a
+// DSM trustworthy): every variable written inside a parallel region must be
+// covered by a data-sharing or synchronization annotation, or it is a
+// candidate write-write race on the shared heap.
+//
+// A write to variable `v` inside `#pragma omp parallel` is SAFE when any of:
+//   * v appears in a private / firstprivate / reduction / threadprivate
+//     clause of the region (or a nested directive),
+//   * v is declared inside the region (a stack local of the outlined body),
+//   * v is the loop variable of a worksharing `#pragma omp for`,
+//   * the write sits inside a `critical`, `single` or `master` construct,
+//   * the write is subscripted and the index expression mentions a
+//     worksharing loop variable or clause-private variable (each thread
+//     writes its own partition of the array).
+// Everything else is reported.
+//
+// Deliberate blind spots (the dynamic detector's domain, docs/PROTOCOL.md):
+// writes through pointers and function calls (`*p = x`, `relax(g, r)`), and
+// locals aliasing shared memory (`double* row = g + ...; row[c] = ...`).
+// The lint is tuned for zero false positives on the translator corpus; it
+// under-reports rather than cry wolf.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace omsp::translate {
+
+struct LintDiagnostic {
+  std::size_t line = 0; // 1-based source line of the offending write
+  std::string var;      // the shared variable written
+  std::string message;  // fully formatted, test-asserted:
+  // "line N: warning: shared variable 'v' written in parallel region
+  //  without reduction/critical/ordered protection [-Wshared-write]"
+};
+
+// Lint every parallel region of `src`. One diagnostic per (region, variable),
+// anchored at the first offending write, in source order.
+std::vector<LintDiagnostic> lint_source(const std::string& src);
+
+} // namespace omsp::translate
