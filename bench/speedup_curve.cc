@@ -11,11 +11,17 @@
 //    mode at the sizes a single host can carry. --seed <n> runs the MPI
 //    sweep over a lossy network (seeded per-link loss schedules, no jitter)
 //    so the curves are a pure function of the seed; --json emits the curves
-//    keyed by topology spec for the BENCH_pr7.json drift check.
+//    keyed by topology spec for the BENCH_pr10.json drift check, plus the
+//    incast/saturation probes whose per-stage wait shape bench_smoke.sh
+//    asserts (spine saturates before edge NICs on the fat trees).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
 #include "bench_common.hpp"
+#include "net/router.hpp"
+#include "net/transport.hpp"
+#include "sim/virtual_clock.hpp"
 
 namespace {
 
@@ -57,6 +63,63 @@ double coll_micro_us(const sim::Topology& topo, const sim::CostModel& cost,
     }
   });
   return w.makespan_us() / iters;
+}
+
+// --- saturation probes: which tier of the machine queues first -------------
+// One request per sender at modeled time zero (each sender gets a fresh
+// virtual clock), so the per-stage wait boards show WHERE the machine
+// saturates, not just by how much. Requests reserve per-segment busy windows
+// at the sp2-calibrated switch hold; a sender whose modeled time lands
+// inside a segment's window queues behind it at that stage's rate.
+struct IncastPoint {
+  double makespan_us = 0; // max sender completion (latency + queueing)
+  std::vector<net::InlineTransport::StageWait> waits;
+
+  double stage_wait_us(std::size_t stage) const {
+    return stage < waits.size() ? waits[stage].wait_us : 0.0;
+  }
+  // Edge tier = stage 1 (node NICs / endpoint links); spine = everything
+  // above it (switch-to-switch trunks). Flat machines have no spine tiers.
+  double edge_wait_us() const { return stage_wait_us(1); }
+  double spine_wait_us() const {
+    double s = 0;
+    for (std::size_t i = 2; i < waits.size(); ++i) s += waits[i].wait_us;
+    return s;
+  }
+};
+
+// `shift` sends node i's one page-sized request to node (i + n/2) % n — a
+// cross-switch permutation where every message climbs to the top of the
+// tree; otherwise every sender targets rank 0 (the classic incast).
+IncastPoint run_incast(const sim::Topology& topo, bool shift) {
+  sim::CostModel cost = paper_cost();
+  cost.cpu_scale = 0;
+  cost.link_contention_us = 30.0; // the sp2cal switch hold (docs/TOPOLOGY.md)
+  const std::uint32_t n = topo.nprocs();
+  std::vector<NodeId> ctx(n);
+  for (std::uint32_t i = 0; i < n; ++i) ctx[i] = topo.node_of_rank(i);
+  net::Router router(std::move(ctx), cost, topo);
+  struct Sink : net::MessageHandler {
+    void handle(ContextId, net::MsgType, ByteReader&, ByteWriter&) override {}
+  } sink;
+  for (std::uint32_t i = 0; i < n; ++i) router.bind_handler(i, &sink);
+
+  IncastPoint out;
+  std::vector<std::uint8_t> page(4096, 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t dst = shift ? (i + n / 2) % n : 0u;
+    if (dst == i) continue;
+    sim::VirtualClock clk(0.0);
+    sim::VirtualClock::Binder bind(&clk);
+    ByteWriter req;
+    req.put_span<std::uint8_t>({page.data(), page.size()});
+    (void)router.transport().call(
+        net::Envelope::request(i, dst, net::MsgType::kDiffRequest, req));
+    out.makespan_us = std::max(out.makespan_us, clk.now_us());
+  }
+  out.waits =
+      dynamic_cast<net::InlineTransport&>(router.transport()).stage_waits();
+  return out;
 }
 
 std::string point_json(const apps::Result& r, std::uint32_t nprocs) {
@@ -203,6 +266,53 @@ int run_scale(const BenchArgs& args) {
               "fan-in\nserializes enough to favor the tree — the size-and-"
               "scale crossover the\nOMSP_COLL=tree:<bytes> knob tunes.\n");
 
+  // --- incast/saturation shape: flat crossbar vs fat tree --------------------
+  std::printf("\nSaturation probes: modeled queueing by tier (one 4 KB "
+              "request per sender)\n");
+  print_rule(72);
+  std::printf("%-12s %-8s %6s %12s %12s %12s\n", "topology", "pattern",
+              "nodes", "makespan us", "edge-wait us", "spine-wait us");
+  print_rule(72);
+  std::string incast_json;
+  const sim::Topology sat_topos[] = {
+      sim::Topology::flat_switch(64, 1), sim::Topology::fat_tree(2, 8, 1),
+      sim::Topology::flat_switch(256, 1), sim::Topology::fat_tree(2, 16, 1),
+  };
+  for (const auto& topo : sat_topos) {
+    for (const bool shift : {true, false}) {
+      const IncastPoint pt = run_incast(topo, shift);
+      const char* pattern = shift ? "shift" : "incast";
+      std::printf("%-12s %-8s %6u %12.0f %12.0f %12.0f\n", topo.spec().c_str(),
+                  pattern, topo.nodes(), pt.makespan_us, pt.edge_wait_us(),
+                  pt.spine_wait_us());
+      JsonObject o;
+      o.add("nodes", static_cast<std::uint64_t>(topo.nodes()));
+      o.add("makespan_us", pt.makespan_us);
+      o.add("edge_wait_us", pt.edge_wait_us());
+      o.add("spine_wait_us", pt.spine_wait_us());
+      std::string stage_arr;
+      for (const auto& w : pt.waits) {
+        if (!stage_arr.empty()) stage_arr += ", ";
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", w.wait_us);
+        stage_arr += buf;
+      }
+      o.add("stage_wait_us", "[" + stage_arr + "]");
+      if (!incast_json.empty()) incast_json += ", ";
+      incast_json +=
+          "\"" + topo.spec() + "/" + pattern + "\": " + o.str();
+    }
+  }
+  print_rule(72);
+  std::printf("\nThe shift permutation never queues on the crossbar (every "
+              "node owns a private\nport) but serializes each fat-tree edge "
+              "switch's senders behind its shared\nspine trunk: the spine "
+              "saturates first, edge NICs pay only residual reply\nholds. "
+              "Pointing everyone at rank 0 instead drags the hot receiver's "
+              "edge\ndownlink into the queueing (at 256 nodes its wait grows "
+              "~5x over the\npermutation's) — incast adds an edge-tier "
+              "bottleneck below the spine\noversubscription.\n");
+
   if (!args.json_path.empty()) {
     JsonObject top;
     top.add_string("bench", "speedup_curve_scale");
@@ -210,7 +320,7 @@ int run_scale(const BenchArgs& args) {
     top.add("seed", static_cast<std::uint64_t>(args.seed));
     top.add("curves", "{\"mpi\": {" + mpi_json + "}, \"sdsm_thread\": {" +
                           dsm_json + "}, \"collectives\": {" + coll_json +
-                          "}}");
+                          "}, \"incast\": {" + incast_json + "}}");
     write_json_file(args.json_path, top.str());
   }
   return 0;

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Bench smoke: run the evaluation benches at CI problem sizes, merge their
-# machine-readable rows into BENCH_pr9.json, and fail if message counts
+# machine-readable rows into BENCH_pr10.json, and fail if message counts
 # drifted vs the committed baseline under the default (inline, synchronous)
 # transport. Each bench row also records its host WALL-CLOCK seconds
 # ("wall_clock_s") — modeled results answer "is the simulation right",
@@ -34,7 +34,7 @@
 set -euo pipefail
 
 BUILD_DIR=build
-OUT=BENCH_pr9.json
+OUT=BENCH_pr10.json
 UPDATE=0
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -190,6 +190,40 @@ if not small["allreduce8_flat_us"] < small["allreduce8_tree_us"]:
     sys.exit(1)
 print("collectives: tree beats central/flat at 64 and 256 nodes "
       "(barrier + 64K allreduce); 8-byte crossover intact")
+
+# Saturation-shape invariant (per-stage congestion): the cross-switch shift
+# permutation must saturate the fat trees' spine trunks strictly before the
+# edge NICs (which see only residual reply holds), the flat crossbars must
+# never queue a permutation or an incast (private per-node ports), and
+# pointing every sender at rank 0 must drag the hot receiver's edge downlink
+# into the queueing beyond the permutation's residual level.
+incast = scale["seed1"]["curves"]["incast"]
+for shape in ("fat:2x8x1", "fat:2x16x1"):
+    sh = incast[f"{shape}/shift"]
+    if not sh["spine_wait_us"] > sh["edge_wait_us"] > 0:
+        print(f"{shape}/shift: expected spine wait {sh['spine_wait_us']} > "
+              f"edge wait {sh['edge_wait_us']} > 0 (spine saturates first)",
+              file=sys.stderr)
+        sys.exit(1)
+# The hot-downlink signature needs enough senders to outrun the spine's
+# absorption: at 64 nodes the upstream trunk queues delay arrivals enough
+# that the shared downlink rarely blocks, so the check is 256-node only.
+inc = incast["fat:2x16x1/incast"]
+sh = incast["fat:2x16x1/shift"]
+if not inc["edge_wait_us"] > sh["edge_wait_us"]:
+    print(f"fat:2x16x1: incast edge wait {inc['edge_wait_us']} !> shift "
+          f"edge wait {sh['edge_wait_us']} (hot downlink)", file=sys.stderr)
+    sys.exit(1)
+for shape in ("flat:64x1", "flat:256x1"):
+    for pat in ("shift", "incast"):
+        row = incast[f"{shape}/{pat}"]
+        if row["edge_wait_us"] != 0 or row["spine_wait_us"] != 0:
+            print(f"{shape}/{pat}: crossbar queued (edge "
+                  f"{row['edge_wait_us']}, spine {row['spine_wait_us']}), "
+                  f"expected private ports", file=sys.stderr)
+            sys.exit(1)
+print("saturation shape: fat-tree spine saturates before edge NICs at 64 and "
+      "256 nodes; crossbars never queue; incast lights the hot edge downlink")
 
 # Host wall-clock per bench run, written by the wallclock() wrapper.
 wall = {}

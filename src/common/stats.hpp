@@ -58,6 +58,8 @@ enum class Counter : std::size_t {
   kZeroCopyBytes,       // payload bytes those deliveries avoided copying
   kRaceChecks,          // detector pairwise concurrency checks (OMSP_RACE)
   kRacesDetected,       // write-write race reports from those checks
+  kContentionStageWaits, // sends that queued behind a busy link segment, one
+                         // per (message, segment) wait along the path
   kCount
 };
 
@@ -75,7 +77,8 @@ inline const char* counter_name(Counter c) {
                "msgs_lost",        "retransmits",     "acks_sent",
                "coll_stages",      "coll_bytes",
                "zerocopy_deliveries", "zerocopy_bytes",
-               "race_checks",      "races_detected"};
+               "race_checks",      "races_detected",
+               "contention_stage_waits"};
   return names[static_cast<std::size_t>(c)];
 }
 

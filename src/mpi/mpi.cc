@@ -252,9 +252,11 @@ void Comm::coll_send(int dst, int tag, const void* data, std::size_t bytes,
   const std::size_t wire = bytes + net::kHeaderBytes;
   // Injection serialization: consecutive fan-out sends from one member
   // queue behind each other's wire occupancy (zero with the default cost
-  // knobs). Charged before the send so later children's arrivals include
-  // every earlier sibling's occupancy.
-  clock_.charge(world_.router_->model().occupancy_us(wire));
+  // knobs), at the rate of the stage the schedule edge crosses. Charged
+  // before the send so later children's arrivals include every earlier
+  // sibling's occupancy.
+  clock_.charge(world_.topo_.stage_occupancy_us(world_.router_->model(),
+                                                level, wire));
   send(dst, tag, data, bytes);
   if (tree_mode()) {
     auto& stats = world_.router_->stats(static_cast<ContextId>(rank_));
@@ -266,10 +268,11 @@ void Comm::coll_send(int dst, int tag, const void* data, std::size_t bytes,
   }
 }
 
-void Comm::coll_sink(std::size_t bytes) {
+void Comm::coll_sink(std::size_t bytes, std::uint32_t level) {
   // Fan-in serialization: a leader absorbs one child message per occupancy
-  // window on its downlink.
-  clock_.charge(world_.router_->model().occupancy_us(bytes + net::kHeaderBytes));
+  // window on its downlink, at the rate of the stage that edge crosses.
+  clock_.charge(world_.topo_.stage_occupancy_us(
+      world_.router_->model(), level, bytes + net::kHeaderBytes));
 }
 
 void Comm::sched_barrier() {
@@ -284,7 +287,7 @@ void Comm::sched_barrier() {
   char token = 0;
   for (const std::uint32_t child : sched.children(me)) {
     recv(static_cast<int>(child), kTagBarrier, &token, 1);
-    coll_sink(1);
+    coll_sink(1, sched.level(child));
   }
   const int parent = sched.parent(me);
   if (parent >= 0) {
@@ -335,7 +338,7 @@ void Comm::sched_reduce(int root, void* inout, std::size_t n,
   std::vector<std::uint8_t> scratch(bytes);
   for (const std::uint32_t child : sched.children(me)) {
     recv(abs(child), kTagReduce, scratch.data(), bytes);
-    coll_sink(bytes);
+    coll_sink(bytes, sched.level(child));
     combine(inout, scratch.data(), n);
   }
   const int parent = sched.parent(me);
@@ -358,7 +361,7 @@ void Comm::allreduce_impl(void* inout, std::size_t n, std::size_t elem,
   std::vector<std::uint8_t> scratch(bytes);
   for (const std::uint32_t child : sched.children(me)) {
     recv(static_cast<int>(child), kTagReduce, scratch.data(), bytes);
-    coll_sink(bytes);
+    coll_sink(bytes, sched.level(child));
     combine(inout, scratch.data(), n);
   }
   const int parent = sched.parent(me);

@@ -319,8 +319,9 @@ private:
   // in tree mode, books the kCollStage event + coll_* counters.
   void coll_send(int dst, int tag, const void* data, std::size_t bytes,
                  std::uint32_t level, int leader);
-  // Receiver-side fan-in serialization for one absorbed schedule message.
-  void coll_sink(std::size_t bytes);
+  // Receiver-side fan-in serialization for one absorbed schedule message;
+  // `level` is the topology stage the absorbed edge crossed.
+  void coll_sink(std::size_t bytes, std::uint32_t level);
   void sched_barrier();
   void sched_bcast(int root, void* data, std::size_t bytes);
   void sched_reduce(int root, void* inout, std::size_t n, std::size_t elem,

@@ -61,30 +61,71 @@ InlineTransport::InlineTransport(Router& router) : router_(router) {}
 double InlineTransport::contention_us(const Envelope& env,
                                       std::size_t wire_bytes, bool reserve) {
   const auto& m = router_.model();
-  double extra = m.occupancy_us(wire_bytes);
-  if (m.link_contention_us > 0) {
-    const std::uint64_t link = router_.link_segment(env.src, env.dst);
-    auto* clock = sim::VirtualClock::current();
-    const double now = clock != nullptr ? clock->now_us() : 0;
-    std::lock_guard<std::mutex> lk(link_mutex_);
-    LinkWindow& w = link_windows_[link];
-    if (now >= w.end) {
-      // Idle link at this modeled time: a fresh busy period.
+  const sim::Topology& topo = router_.topology();
+  const NodeId a = router_.node_of(env.src);
+  const NodeId b = router_.node_of(env.dst);
+  // Occupancy is charged once per message, at the rate of the top stage
+  // crossed — the serialization bottleneck — not per segment, so all-inherit
+  // topologies of any depth match the single-scalar model bit-for-bit.
+  double extra = topo.message_occupancy_us(m, wire_bytes, a, b);
+
+  // Fast path: no traversed stage charges contention — skip the window map
+  // (and its lock) entirely, keeping the default-knob hot path lock-free.
+  bool contended = false;
+  topo.for_each_path_segment(a, b, [&](std::uint64_t seg) {
+    if (topo.stage_link_contention_us(m, sim::Topology::segment_stage(seg)) >
+        0)
+      contended = true;
+  });
+  if (!contended) return extra;
+
+  auto* clock = sim::VirtualClock::current();
+  const double now = clock != nullptr ? clock->now_us() : 0;
+  // The message reaches segment i of its path only after queueing at the
+  // segments before it: `t` is its local modeled time, advanced past each
+  // wait, so an upstream queue delays — and can avoid — a downstream one.
+  double t = now;
+  std::lock_guard<std::mutex> lk(link_mutex_);
+  topo.for_each_path_segment(a, b, [&](std::uint64_t seg) {
+    const std::uint32_t stage = sim::Topology::segment_stage(seg);
+    const double hold = topo.stage_link_contention_us(m, stage);
+    if (hold <= 0) return; // this tier does not model queueing
+    LinkWindow& w = link_windows_[seg];
+    if (t >= w.end) {
+      // Idle segment at this modeled time: a fresh busy period.
       if (reserve) {
-        w.start = now;
-        w.end = now + m.link_contention_us;
+        w.start = t;
+        w.end = t + hold;
       }
-    } else if (now >= w.start) {
+    } else if (t >= w.start) {
       // Inside the current busy period: queue behind it and pay the
       // residual window.
-      extra += w.end - now;
-      if (reserve) w.end += m.link_contention_us;
+      const double wait = w.end - t;
+      extra += wait;
+      t = w.end;
+      if (reserve) w.end += hold;
+      if (stage_waits_.size() <= stage) stage_waits_.resize(stage + 1);
+      stage_waits_[stage].waits += 1;
+      stage_waits_[stage].wait_us += wait;
+      router_.stats(env.src).add(Counter::kContentionStageWaits);
+      OMSP_TRACE_EVENT(kContentionWait, env.src, stage, seg, env.trace_flags,
+                       wait);
     }
-    // now < w.start: this send modeled-precedes the current busy period —
-    // it would have transmitted before the period began, so no queueing
-    // charge no matter which host thread got here first.
-  }
+    // t < w.start: this send modeled-precedes the current busy period — it
+    // would have transmitted before the period began, so no queueing charge
+    // no matter which host thread got here first.
+  });
   return extra;
+}
+
+std::vector<InlineTransport::StageWait> InlineTransport::stage_waits() const {
+  std::lock_guard<std::mutex> lk(link_mutex_);
+  return stage_waits_;
+}
+
+void InlineTransport::reset_stats() {
+  std::lock_guard<std::mutex> lk(link_mutex_);
+  stage_waits_.clear();
 }
 
 std::vector<std::uint8_t> InlineTransport::call(const Envelope& env) {
@@ -209,9 +250,11 @@ QueuedTransport::call_async_with_dups(const Envelope& env,
   const double req_cost = router_.account(env);
   auto* clock = sim::VirtualClock::current();
   // Serialized sender occupancy (zero with default knobs): issuing requests
-  // back-to-back costs wire occupancy per message, not a full RTT.
-  const double occ =
-      router_.model().occupancy_us(env.payload_size() + kHeaderBytes);
+  // back-to-back costs wire occupancy per message, not a full RTT. Charged
+  // at the top stage the message crosses, like the synchronous path.
+  const double occ = router_.topology().message_occupancy_us(
+      router_.model(), env.payload_size() + kHeaderBytes,
+      router_.node_of(env.src), router_.node_of(env.dst));
   if (clock != nullptr) clock->charge(occ);
 
   Job job;

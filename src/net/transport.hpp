@@ -234,34 +234,55 @@ public:
   double notify(const Envelope& env) override;
   const char* name() const override { return "inline"; }
 
+  // Cumulative modeled queueing per topology stage (index = stage), for
+  // saturation-shape probes: which tier of the machine is the bottleneck.
+  // Snapshot under the window lock; reset together with reset_stats().
+  struct StageWait {
+    std::uint64_t waits = 0; // messages that queued at this stage
+    double wait_us = 0;      // total modeled wait they paid there
+
+    bool operator==(const StageWait&) const = default;
+  };
+  std::vector<StageWait> stage_waits() const;
+  void reset_stats() override;
+
 private:
-  // Occupancy + queueing surcharge for one message of `wire_bytes` on the
-  // src->dst link; 0 with the default cost model. When `reserve` is set the
-  // message extends the link's busy window (requests do; replies and
-  // notifications only pay against existing windows, mirroring the original
-  // in-flight accounting).
+  // Occupancy + queueing surcharge for one message of `wire_bytes` along the
+  // src->dst path; 0 with the default cost model. Occupancy is charged once
+  // per message at the rate of the top stage crossed (the bottleneck
+  // serialization point); queueing is charged per traversed segment at that
+  // segment's stage rate. When `reserve` is set the message extends each
+  // segment's busy window (requests do; replies and notifications only pay
+  // against existing windows, mirroring the original in-flight accounting).
   double contention_us(const Envelope& env, std::size_t wire_bytes,
                        bool reserve);
 
   Router& router_;
   // Modeled-time occupancy window per shared link segment, maintained only
-  // when the contention knob is enabled. Windows are keyed by
-  // Router::link_segment — the sender's uplink into the topmost topology
-  // stage the message crosses (its node's NIC for edge traffic, its edge
-  // switch's trunk for spine traffic) — so two sends from one node to
-  // DIFFERENT destinations still queue on the same outbound segment. A send
-  // whose modeled time falls inside the segment's current busy period queues
-  // behind it (and pays the residual window); a send whose modeled time
-  // precedes the period would have transmitted first and pays nothing — so
-  // the surcharge is a pure function of modeled timestamps, never of host
-  // scheduling (the original implementation counted host-concurrent calls
-  // with fetch_add/fetch_sub, a determinism hole).
+  // when a stage's contention knob is enabled. Windows are keyed by the
+  // packed (stage, segment) keys of sim::Topology::path_segments — going up,
+  // the sender's uplink at each tier (its node's NIC, then its edge switch's
+  // trunk, ...); coming down, the receiver's downlink at each tier — so two
+  // sends from one node to DIFFERENT destinations still queue on the same
+  // outbound segments, and an edge NIC and a spine trunk queue and saturate
+  // independently at their own per-stage rates. A message reaches segment i
+  // of its path only after queueing at segments before it, so its local
+  // modeled time advances past each wait. A send whose modeled time falls
+  // inside a segment's current busy period queues behind it (and pays the
+  // residual window); a send whose modeled time precedes the period would
+  // have transmitted first and pays nothing — so the surcharge is a pure
+  // function of modeled timestamps, never of host scheduling (the original
+  // implementation counted host-concurrent calls with fetch_add/fetch_sub, a
+  // determinism hole). For any two-stage topology the path is the single
+  // Router::link_segment, reproducing the flat single-window model
+  // bit-for-bit.
   struct LinkWindow {
     double start = 0;
     double end = 0;
   };
-  std::mutex link_mutex_;
+  mutable std::mutex link_mutex_;
   std::unordered_map<std::uint64_t, LinkWindow> link_windows_;
+  mutable std::vector<StageWait> stage_waits_; // grown on demand per stage
 };
 
 // Opt-in knobs for the overlapped communication paths (tmk::Config.overlap).

@@ -71,6 +71,8 @@ void chaos_point() {
 
 } // namespace
 
+void (*testing_home_apply_hook)(ContextId, PageId) = nullptr;
+
 DsmContext::DsmContext(ContextId id, const Config& config, net::Router& router)
     : config_(config), id_(id), router_(router), stats_(&router.stats(id)),
       heap_(config.heap_bytes, config.use_alias_mapping(), id, stats_,
@@ -466,10 +468,12 @@ void DsmContext::fetch_and_apply(PageId p, std::unique_lock<std::mutex>& lock) {
   std::stable_sort(got.begin(), got.end(),
                    [](const Got& a, const Got& b) { return a.vtsum < b.vtsum; });
   if (!got.empty()) {
+    // The write-enable below is the faulting application thread's own
+    // modeled mprotect (original TreadMarks); the store itself goes through
+    // the runtime mapping so no sibling access can slip past detection.
     if (!heap_.has_alias() && meta.prot != Protection::kReadWrite)
       set_prot(p, Protection::kReadWrite); // original needs write-enable
-    std::uint8_t* dst =
-        heap_.has_alias() ? heap_.runtime_page(p) : heap_.app_page(p);
+    std::uint8_t* dst = heap_.runtime_page(p);
     auto* clock = sim::VirtualClock::current();
     for (const Got& g : got) {
       apply_diff(g.view, dst);
@@ -634,14 +638,24 @@ void DsmContext::handle(ContextId src, net::MsgType type, ByteReader& request,
 void DsmContext::apply_bytes_at_home(PageId p, const std::uint8_t* bytes,
                                      std::size_t len, bool full_page) {
   PageMeta& meta = pages_[p];
-  // The home needs write access to its own copy without exposing stale
-  // state to its applications: the alias mapping (thread mode) or a brief
-  // write-enable on the app mapping (process mode), mirroring fetch_and_apply.
-  const Protection prot_before = meta.prot;
-  if (!heap_.has_alias() && meta.prot != Protection::kReadWrite)
-    set_prot(p, Protection::kReadWrite);
-  std::uint8_t* dst =
-      heap_.has_alias() ? heap_.runtime_page(p) : heap_.app_page(p);
+  // The home needs write access to its own copy. The original system
+  // write-enables the app mapping here — safe there because the handler
+  // interrupts the lone application thread, making the RW window atomic.
+  // This runtime executes handlers on other host threads, concurrently with
+  // the home's application threads: relaxing the app mapping would let a
+  // concurrent application store land without faulting — no twin, no dirty
+  // bit, no write notice — and a later diff from a context still holding
+  // the pre-window base would silently revert it (the lost update behind
+  // the historical TriangularStress/HomeProcess miscompute). So the update
+  // always goes through the runtime mapping; process mode only CHARGES the
+  // modeled write-enable pair so its mprotect accounting (Table 3) is
+  // unchanged.
+  const bool modeled_write_enable =
+      !heap_.has_alias() && meta.prot != Protection::kReadWrite;
+  if (modeled_write_enable)
+    heap_.charge_protect(p, Protection::kReadWrite);
+  std::uint8_t* dst = heap_.runtime_page(p);
+  if (testing_home_apply_hook != nullptr) testing_home_apply_hook(id_, p);
   // Uncollected LOCAL writes at the home (current − race baseline) are about
   // to be overwritten by the incoming bytes — last-writer-wins at the home.
   // Freeze the baseline's OLD bytes there: mirroring the incoming bytes over
@@ -674,10 +688,8 @@ void DsmContext::apply_bytes_at_home(PageId p, const std::uint8_t* bytes,
     for (std::size_t i = 0; i < kPageSize; ++i)
       if (pre[i] != old_rt[i]) rt[i] = old_rt[i];
   }
-  if (!heap_.has_alias()) {
-    // Restore the application-visible protection.
-    if (meta.prot != prot_before) set_prot(p, prot_before);
-  }
+  // Modeled restore of the application-visible protection (see above).
+  if (modeled_write_enable) heap_.charge_protect(p, meta.prot);
 }
 
 void DsmContext::fetch_from_home(PageId p,
@@ -742,10 +754,12 @@ void DsmContext::fetch_from_home(PageId p,
       page_bytes = page_copy;
     }
     OMSP_CHECK(page_bytes.size() == kPageSize);
+    // As in fetch_and_apply: the write-enable is this application thread's
+    // own modeled mprotect; the installation writes go through the runtime
+    // mapping.
     if (!heap_.has_alias() && meta.prot != Protection::kReadWrite)
       set_prot(p, Protection::kReadWrite);
-    std::uint8_t* dst =
-        heap_.has_alias() ? heap_.runtime_page(p) : heap_.app_page(p);
+    std::uint8_t* dst = heap_.runtime_page(p);
     std::memcpy(dst, page_bytes.data(), kPageSize);
     if (meta.twin != nullptr)
       std::memcpy(meta.twin.get(), page_bytes.data(), kPageSize);

@@ -76,6 +76,15 @@ namespace omsp::tmk {
 
 enum class PageState : std::uint8_t { kInvalid, kRead, kReadWrite };
 
+// Test-only seam: when non-null, called from apply_bytes_at_home with the
+// home's context id and page, page lock held, after the (modeled) write
+// enable and before the incoming bytes are applied — i.e. inside the window
+// the original system's protection dance used to open on the app mapping.
+// Regression tests use it to park a handler mid-update while a home
+// application thread stores into the same page, pinning the ordering that
+// every such store faults and is twin-tracked. Never set outside tests.
+extern void (*testing_home_apply_hook)(ContextId home, PageId page);
+
 class DsmContext final : public FaultTarget, public net::MessageHandler {
 public:
   DsmContext(ContextId id, const Config& config, net::Router& router);

@@ -38,50 +38,49 @@ int to_native(Protection p) {
 
 HeapMapping::HeapMapping(std::size_t bytes, bool alias, ContextId owner,
                          StatsBoard* stats, const sim::CostModel* cost)
-    : bytes_(round_up(bytes, kHeapPageSize)), owner_(owner), stats_(stats),
-      cost_(cost) {
+    : bytes_(round_up(bytes, kHeapPageSize)), modeled_alias_(alias),
+      owner_(owner), stats_(stats), cost_(cost) {
   OMSP_CHECK(static_cast<std::size_t>(::sysconf(_SC_PAGESIZE)) ==
              kHeapPageSize);
-  // Both modes are memfd-backed so the runtime can always reach page
-  // contents without relaxing the application mapping's protections; only
-  // the persistent alias mapping is thread-mode-specific (§3.3.1).
+  // Both modes are memfd-backed and dual-mapped on the host: the runtime
+  // mapping stays read-write so protocol handlers — which run concurrently
+  // with application threads here, unlike the original's interrupting SIGIO
+  // handler — can read and update page contents without ever relaxing the
+  // application mapping's protections. `alias` only selects whether the
+  // MODELED machine has the persistent alias (thread mode, §3.3.1) or pays
+  // the original's write-enable mprotects (process mode, via
+  // charge_protect).
   memfd_ = make_memfd(bytes_);
   void* app = ::mmap(nullptr, bytes_, PROT_READ, MAP_SHARED, memfd_, 0);
   OMSP_CHECK_MSG(app != MAP_FAILED, "app mapping failed");
   app_base_ = static_cast<std::uint8_t*>(app);
-  if (alias) {
-    void* rt =
-        ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, memfd_, 0);
-    OMSP_CHECK_MSG(rt != MAP_FAILED, "alias mapping failed");
-    alias_base_ = static_cast<std::uint8_t*>(rt);
-  }
+  void* rt =
+      ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, memfd_, 0);
+  OMSP_CHECK_MSG(rt != MAP_FAILED, "runtime mapping failed");
+  runtime_base_ = static_cast<std::uint8_t*>(rt);
 }
 
 HeapMapping::~HeapMapping() {
   if (app_base_ != nullptr) ::munmap(app_base_, bytes_);
-  if (alias_base_ != nullptr) ::munmap(alias_base_, bytes_);
+  if (runtime_base_ != nullptr) ::munmap(runtime_base_, bytes_);
   if (memfd_ >= 0) ::close(memfd_);
 }
 
 void HeapMapping::snapshot_page(PageId page, std::uint8_t* out) const {
   OMSP_DCHECK(page < pages());
-  if (alias_base_ != nullptr) {
-    std::memcpy(out, alias_base_ + std::size_t{page} * kHeapPageSize,
-                kHeapPageSize);
-    return;
-  }
-  const off_t offset = static_cast<off_t>(page) * kHeapPageSize;
-  void* window =
-      ::mmap(nullptr, kHeapPageSize, PROT_READ, MAP_SHARED, memfd_, offset);
-  OMSP_CHECK_MSG(window != MAP_FAILED, "snapshot window mmap failed");
-  std::memcpy(out, window, kHeapPageSize);
-  ::munmap(window, kHeapPageSize);
+  std::memcpy(out, runtime_base_ + std::size_t{page} * kHeapPageSize,
+              kHeapPageSize);
 }
 
 void HeapMapping::protect(PageId page, Protection prot) {
   OMSP_DCHECK(page < pages());
   const int rc = ::mprotect(app_page(page), kHeapPageSize, to_native(prot));
   OMSP_CHECK_MSG(rc == 0, "mprotect failed");
+  charge_protect(page, prot);
+}
+
+void HeapMapping::charge_protect(PageId page, Protection prot) {
+  OMSP_DCHECK(page < pages());
   if (stats_ != nullptr) stats_->add(Counter::kMprotect);
   OMSP_TRACE_EVENT(kMprotect, owner_, page, static_cast<std::uint64_t>(prot));
   if (auto* clock = sim::VirtualClock::current(); clock != nullptr)

@@ -13,12 +13,23 @@
 //     paper measures in Table 3 (Thrd/1 does 25–56% fewer mprotects than
 //     Orig/1).
 //
-// In process mode ("original" TreadMarks) there is no alias mapping: the heap
-// is one anonymous private mapping and the runtime must mprotect pages
-// writable around updates, paying the extra system calls.
+// In process mode ("original" TreadMarks) the MODELED machine has no alias
+// mapping: the runtime must mprotect pages writable around updates, paying
+// the extra system calls. The HOST, however, always keeps a second
+// read-write mapping of the backing memfd, used only by the runtime. The
+// distinction matters because the original system's write-enable window is
+// atomic with respect to its (single) application thread — the SIGIO
+// handler interrupts it — while this runtime executes protocol handlers on
+// other host threads, concurrently with application code. Relaxing the app
+// mapping from a handler would open a window where an application store
+// lands without faulting: no twin, no dirty bit, no write notice, and a
+// later diff from a context holding the pre-window base silently reverts
+// the store (a lost update). Handlers therefore write through the runtime
+// mapping, the app mapping's protections never change, and process mode's
+// extra mprotects are charged via charge_protect() as modeled cost only.
 //
-// All mprotect calls are counted on the owning context's StatsBoard and
-// charged to the calling thread's virtual clock.
+// All mprotect calls — real and modeled — are counted on the owning
+// context's StatsBoard and charged to the calling thread's virtual clock.
 #pragma once
 
 #include <cstddef>
@@ -47,12 +58,15 @@ public:
   HeapMapping& operator=(const HeapMapping&) = delete;
 
   std::uint8_t* app_base() const { return app_base_; }
-  // Runtime view of the page: the alias mapping when present, otherwise the
-  // app mapping itself (callers must then arrange write access explicitly).
-  std::uint8_t* runtime_base() const {
-    return alias_base_ != nullptr ? alias_base_ : app_base_;
-  }
-  bool has_alias() const { return alias_base_ != nullptr; }
+  // Runtime view of the heap: a second always-writable mapping of the same
+  // backing pages. Reads and writes through it never touch the application
+  // mapping's protections, so concurrent application accesses keep faulting
+  // no matter what the runtime is doing.
+  std::uint8_t* runtime_base() const { return runtime_base_; }
+  // Whether the MODELED machine has the persistent alias mapping (thread
+  // mode, §3.3.1). Drives the mprotect accounting: when false, runtime
+  // updates charge the original system's write-enable pair.
+  bool has_alias() const { return modeled_alias_; }
 
   std::size_t bytes() const { return bytes_; }
   std::size_t pages() const { return bytes_ / kHeapPageSize; }
@@ -67,12 +81,18 @@ public:
   // Counted, charged page-protection change on the application mapping.
   void protect(PageId page, Protection prot);
 
-  // Copy the page's current contents into `out` without touching the
-  // application mapping's protections: via the alias mapping when present,
-  // otherwise through a transient private read-only window on the backing
-  // memfd. Runtime reads must never relax the app mapping — doing so would
-  // let concurrent application accesses slip past the access-detection
-  // protocol.
+  // Account for an mprotect the MODELED machine performs but the host no
+  // longer needs: process mode's write-enable around a runtime update. In
+  // the original system that window is atomic (the handler interrupts the
+  // lone application thread); here the update goes through the runtime
+  // mapping instead, and only the modeled cost is charged — same counter,
+  // trace event and virtual-clock charge as protect(), no syscall.
+  void charge_protect(PageId page, Protection prot);
+
+  // Copy the page's current contents into `out` via the runtime mapping,
+  // without touching the application mapping's protections. Runtime reads
+  // must never relax the app mapping — doing so would let concurrent
+  // application accesses slip past the access-detection protocol.
   void snapshot_page(PageId page, std::uint8_t* out) const;
 
   // True if `addr` lies inside the application mapping.
@@ -91,7 +111,8 @@ private:
   std::size_t bytes_;
   int memfd_ = -1;
   std::uint8_t* app_base_ = nullptr;
-  std::uint8_t* alias_base_ = nullptr;
+  std::uint8_t* runtime_base_ = nullptr;
+  bool modeled_alias_ = false;
   ContextId owner_;
   StatsBoard* stats_;
   const sim::CostModel* cost_;

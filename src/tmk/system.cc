@@ -323,8 +323,9 @@ void DsmSystem::barrier() {
         if (race_ != nullptr)
           contexts_[c]->sync_cover(contexts_[0]->sync_vt_snapshot());
         bar_departure_time_[c] = depart + inject_backlog + cost;
-        inject_backlog +=
-            config_.cost.occupancy_us(bytes + net::kHeaderBytes);
+        inject_backlog += config_.topology.message_occupancy_us(
+            config_.cost, bytes + net::kHeaderBytes,
+            config_.node_of_context(0), config_.node_of_context(c));
       }
     }
     // The race sweep must see the epoch as the merge left it: GC and
@@ -404,7 +405,10 @@ void DsmSystem::tree_barrier_episode() {
       contexts_[parent]->sync_cover(contexts_[m]->sync_vt_snapshot());
     ready[parent] =
         std::max(ready[parent], ready[m] + sink_backlog[parent] + cost);
-    sink_backlog[parent] += config_.cost.occupancy_us(bytes + net::kHeaderBytes);
+    // The fan-in serializes at the rate of the stage the edge crosses: an
+    // edge switch absorbs its nodes at NIC rate, a spine leader at trunk rate.
+    sink_backlog[parent] += config_.topology.stage_occupancy_us(
+        config_.cost, sched.level(m), bytes + net::kHeaderBytes);
   }
 
   const double depart = ready[0] + config_.cost.barrier_service_us;
@@ -431,8 +435,8 @@ void DsmSystem::tree_barrier_episode() {
       contexts_[m]->sync_cover(contexts_[parent]->sync_vt_snapshot());
     bar_departure_time_[m] =
         bar_departure_time_[parent] + inject_backlog[parent] + cost;
-    inject_backlog[parent] +=
-        config_.cost.occupancy_us(bytes + net::kHeaderBytes);
+    inject_backlog[parent] += config_.topology.stage_occupancy_us(
+        config_.cost, sched.level(m), bytes + net::kHeaderBytes);
   }
 }
 

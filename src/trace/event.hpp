@@ -100,6 +100,12 @@ enum class EventKind : std::uint16_t {
                      // interval seqs (16-bit truncated on the wire; full
                      // values live in race::Detector::reports()); ctx = 0
                      // (kRacesDetected += 1)
+  kContentionWait,   // counter-bearing: one message queued behind the busy
+                     // window of one link segment along its path; arg0 = the
+                     // topology stage of the segment, arg1 = the packed
+                     // segment key (sim::Topology::path_segments); dur = the
+                     // modeled wait charged; ctx = the sender
+                     // (kContentionStageWaits += 1)
   kCount
 };
 
@@ -122,7 +128,8 @@ inline const char* event_name(EventKind k) {
                "region_begin",   "region_end",   "diff_fetch_async",
                "prefetch_batch", "prefetch_hit", "message_lost",
                "retransmit",     "ack",          "coll_stage",
-               "zerocopy_deliver", "race_check", "race_detected"};
+               "zerocopy_deliver", "race_check", "race_detected",
+               "contention_wait"};
   return names[static_cast<std::size_t>(k)];
 }
 

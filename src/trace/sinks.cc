@@ -300,6 +300,9 @@ StatsSnapshot reconstruct_counters(const std::vector<Event>& events) {
     case EventKind::kRaceDetected:
       s[Counter::kRacesDetected] += 1;
       break;
+    case EventKind::kContentionWait:
+      s[Counter::kContentionStageWaits] += 1;
+      break;
     case EventKind::kLockGrant:
     case EventKind::kBarrierWait:
     case EventKind::kDiffFetch:

@@ -41,7 +41,10 @@ inline constexpr char kTraceMagic[8] = {'O', 'M', 'S', 'P',
 // checks, arg1 = entries swept) and kRaceDetected (arg0 = (page<<32)|
 // (lo<<16)|hi, arg1 = packed writer ctxs + interval seqs) and the
 // race_checks/races_detected counters (OMSP_RACE).
-inline constexpr std::uint32_t kTraceVersion = 7;
+// Version 8: adds the per-stage congestion kind kContentionWait (arg0 =
+// topology stage, arg1 = packed segment key, dur = modeled wait) and the
+// contention_stage_waits counter (stage-aware link busy windows).
+inline constexpr std::uint32_t kTraceVersion = 8;
 
 struct TraceFile {
   std::vector<Event> events;

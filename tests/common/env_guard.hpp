@@ -21,7 +21,7 @@ public:
     for (const char* n : {"OMSP_OVERLAP", "OMSP_OVERLAP_FETCH",
                           "OMSP_OVERLAP_PREFETCH", "OMSP_PERTURB_SEED",
                           "OMSP_LOSS_PROB", "OMSP_COLL", "OMSP_ZEROCOPY",
-                          "OMSP_RACE"}) {
+                          "OMSP_RACE", "OMSP_TOPOLOGY"}) {
       const char* v = std::getenv(n);
       saved_.emplace_back(n, v != nullptr ? std::optional<std::string>(v)
                                           : std::nullopt);

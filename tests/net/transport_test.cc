@@ -309,6 +309,239 @@ TEST(InlineTransport, UplinkSegmentSharedAcrossDestinations) {
   EXPECT_EQ(echo.calls, 1);
 }
 
+// ------------------------------------------------- per-stage busy windows ---
+
+// A three-stage test machine: 4 single-proc nodes, 2 per edge switch, 2 edge
+// switches under one spine. Each network tier pins its own contention hold,
+// so an edge NIC and a spine trunk queue independently at their own rates.
+// Under CostModel::zero() the only modeled time is queueing, which makes the
+// assertions below closed-form.
+sim::Topology deep_machine(double edge_hold_us, double spine_hold_us) {
+  sim::Stage node{1};
+  sim::Stage edge{2};
+  edge.link_contention_us = edge_hold_us;
+  sim::Stage spine{2};
+  spine.link_contention_us = spine_hold_us;
+  return sim::Topology({node, edge, spine}, "test:2x2x1");
+}
+
+Router make_deep_router(const sim::Topology& topo,
+                        sim::CostModel model = sim::CostModel::zero()) {
+  // One context per node: 0,1 under edge switch 0; 2,3 under edge switch 1.
+  return Router({0, 1, 2, 3}, model, topo);
+}
+
+TEST(InlineTransport, SpineTrunkQueuesOnlySendersSharingIt) {
+  auto router = make_deep_router(deep_machine(0.0, 11.0));
+  EchoHandler echo;
+  router.bind_handler(2, &echo);
+  sim::VirtualClock clock(0.0);
+  sim::VirtualClock::Binder bind(&clock);
+  ByteWriter req;
+  req.put_span<std::uint8_t>({});
+  (void)router.transport().call(
+      Envelope::request(0, 2, MsgType::kDiffRequest, req));
+  // The request reserved spine trunk 0 for [0, 11); its reply climbed trunk
+  // 1 (up legs key on the sending side), which was idle — no charge.
+  EXPECT_NEAR(clock.now_us(), 0.0, 1e-6);
+
+  // 1 -> 3 climbs the same trunk 0 at modeled time 0: full residual hold.
+  const double shared = router.transport().notify(
+      Envelope::notice(1, 3, MsgType::kGcRecords, 8));
+  EXPECT_NEAR(shared, 11.0, 1e-6);
+  // 3 -> 1 climbs trunk 1: distinct segment of the same stage — free.
+  const double distinct = router.transport().notify(
+      Envelope::notice(3, 1, MsgType::kGcRecords, 8));
+  EXPECT_NEAR(distinct, 0.0, 1e-6);
+
+  auto& inline_t = dynamic_cast<InlineTransport&>(router.transport());
+  const auto waits = inline_t.stage_waits();
+  ASSERT_EQ(waits.size(), 3u);
+  EXPECT_EQ(waits[2].waits, 1u);
+  EXPECT_NEAR(waits[2].wait_us, 11.0, 1e-6);
+  EXPECT_EQ(waits[1].waits, 0u);
+  EXPECT_EQ(router.stats(1).get(Counter::kContentionStageWaits), 1u);
+  EXPECT_EQ(router.stats(3).get(Counter::kContentionStageWaits), 0u);
+
+  inline_t.reset_stats();
+  EXPECT_TRUE(inline_t.stage_waits().empty());
+}
+
+TEST(InlineTransport, EdgeNicWindowSharedAcrossTiersAndDestinations) {
+  auto router = make_deep_router(deep_machine(5.0, 0.0));
+  EchoHandler echo;
+  router.bind_handler(1, &echo);
+  sim::VirtualClock clock(0.0);
+  sim::VirtualClock::Binder bind(&clock);
+  ByteWriter req;
+  req.put_span<std::uint8_t>({});
+  // 0 -> 1 stays inside edge switch 0 and reserves node 0's NIC ([0, 5)).
+  (void)router.transport().call(
+      Envelope::request(0, 1, MsgType::kDiffRequest, req));
+  EXPECT_NEAR(clock.now_us(), 0.0, 1e-6); // the reply used node 1's NIC: idle
+  // A cross-spine send leaves node 0 through the same NIC and queues, even
+  // though the two messages cross different top stages.
+  const double cross = router.transport().notify(
+      Envelope::notice(0, 3, MsgType::kGcRecords, 8));
+  EXPECT_NEAR(cross, 5.0, 1e-6);
+  // The other edge group's NICs never acquired a window.
+  const double other = router.transport().notify(
+      Envelope::notice(2, 3, MsgType::kGcRecords, 8));
+  EXPECT_NEAR(other, 0.0, 1e-6);
+}
+
+TEST(InlineTransport, UpstreamQueueDelaysDownstreamArrival) {
+  // The local-time rule: a message that waits 11us at the spine reaches the
+  // destination's edge NIC at t = 11, AFTER that NIC's busy window [0, 5)
+  // has drained — it must pay 11, not 11 + 5. Charging every segment against
+  // the caller's clock-now would double-bill the path.
+  auto router = make_deep_router(deep_machine(5.0, 11.0));
+  EchoHandler echo;
+  router.bind_handler(3, &echo);
+  {
+    sim::VirtualClock clock(0.0);
+    sim::VirtualClock::Binder bind(&clock);
+    ByteWriter req;
+    req.put_span<std::uint8_t>({});
+    // Reserves node 0's NIC [0, 5), spine trunk 0 [0, 11), node 3's NIC
+    // [0, 5) — the request itself saw every segment idle.
+    (void)router.transport().call(
+        Envelope::request(0, 3, MsgType::kDiffRequest, req));
+    // The reply left node 3 at ~0 and queued behind the request's own
+    // reservation of node 3's NIC; after that 5us wait, spine trunk 1 was
+    // untouched and node 0's downlink window had lapsed.
+    EXPECT_NEAR(clock.now_us(), 5.0, 1e-6);
+  }
+  sim::VirtualClock clock(0.0);
+  sim::VirtualClock::Binder bind(&clock);
+  const double cost = router.transport().notify(
+      Envelope::notice(1, 3, MsgType::kGcRecords, 8));
+  EXPECT_NEAR(cost, 11.0, 1e-6);
+
+  auto& inline_t = dynamic_cast<InlineTransport&>(router.transport());
+  const auto waits = inline_t.stage_waits();
+  ASSERT_EQ(waits.size(), 3u);
+  EXPECT_EQ(waits[1].waits, 1u); // the reply, at node 3's NIC
+  EXPECT_EQ(waits[2].waits, 1u); // the notice, at spine trunk 0
+  EXPECT_NEAR(waits[2].wait_us, 11.0, 1e-6);
+}
+
+TEST(InlineTransport, PerStageQueueingDeterministicUnderSeeds) {
+  // The windowed model composes with the seeded lossy transport: every
+  // retransmitted copy pays the same modeled queueing on every run, so the
+  // whole (time, waits, losses) tuple is a pure function of the seed.
+  auto run = [](std::uint64_t seed) {
+    sim::CostModel model = sim::CostModel::zero();
+    model.rto_us = 50.0;
+    auto router = make_deep_router(deep_machine(5.0, 11.0), model);
+    EchoHandler echo;
+    router.bind_handler(2, &echo);
+    PerturbOptions o;
+    o.enabled = true;
+    o.seed = seed;
+    o.jitter_max_us = 0;
+    o.duplicate_prob = 0;
+    o.reorder_prob = 0;
+    o.loss_prob = 0.3;
+    o.max_retries = 20;
+    router.set_transport(std::make_unique<PerturbingTransport>(
+        std::make_unique<InlineTransport>(router), router, o));
+    sim::VirtualClock clock(0.0);
+    sim::VirtualClock::Binder bind(&clock);
+    std::uint64_t failures = 0;
+    for (int i = 0; i < 16; ++i) {
+      ByteWriter req;
+      req.put_span<std::uint8_t>({});
+      try {
+        (void)router.transport().call(
+            Envelope::request(0, 2, MsgType::kDiffRequest, req));
+        (void)router.transport().notify(
+            Envelope::notice(1, 3, MsgType::kGcRecords, 8));
+      } catch (const TransportError&) {
+        ++failures;
+      }
+    }
+    auto& pt = dynamic_cast<PerturbingTransport&>(router.transport());
+    auto& inline_t = dynamic_cast<InlineTransport&>(pt.inner());
+    return std::tuple{clock.now_us(), inline_t.stage_waits(),
+                      router.snapshot()[Counter::kContentionStageWaits],
+                      router.snapshot()[Counter::kMsgsLost], failures};
+  };
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    SCOPED_TRACE(seed);
+    const auto a = run(seed);
+    EXPECT_EQ(a, run(seed)); // bit-identical time, waits and loss schedule
+    EXPECT_GT(std::get<2>(a), 0u); // queueing actually happened
+  }
+}
+
+// Satellite regression: the reply leg must price against the REVERSED
+// (dst -> src) path. asym:2+1 puts contexts {0, 1} on node 0 and context 2
+// on node 1; the request 0 -> 2 reserves node 0's uplink, and a reply keyed
+// on the forward path would queue 7us behind it — the reversed path's
+// node 1 uplink is idle, so the round trip must cost nothing.
+TEST(InlineTransport, AsymmetricReplyPricesReversedPath) {
+  sim::CostModel model = sim::CostModel::zero();
+  model.link_contention_us = 7.0;
+  Router router({0, 0, 1}, model, sim::Topology::asymmetric({2, 1}));
+  EchoHandler echo;
+  router.bind_handler(2, &echo);
+  sim::VirtualClock clock(0.0);
+  sim::VirtualClock::Binder bind(&clock);
+  ByteWriter req;
+  req.put_span<std::uint8_t>({});
+  (void)router.transport().call(
+      Envelope::request(0, 2, MsgType::kDiffRequest, req));
+  EXPECT_NEAR(clock.now_us(), 0.0, 1e-6);
+  // The forward window is real: a second send out of node 0 queues...
+  const double queued = router.transport().notify(
+      Envelope::notice(1, 2, MsgType::kGcRecords, 8));
+  EXPECT_NEAR(queued, 7.0, 1e-6);
+  // ...while node 1's uplink never acquired one — the reply paid nothing.
+  const double reverse = router.transport().notify(
+      Envelope::notice(2, 0, MsgType::kGcRecords, 8));
+  EXPECT_NEAR(reverse, 0.0, 1e-6);
+}
+
+// Every kContentionStageWaits bump pairs with a kContentionWait event whose
+// args identify the queueing segment and whose dur is the modeled wait.
+TEST(InlineTransport, ContentionWaitEventsAuditExactly) {
+  trace::Options topt;
+  topt.enabled = true;
+  trace::Tracer tracer(topt);
+  ASSERT_TRUE(tracer.install());
+
+  sim::CostModel model = sim::CostModel::zero();
+  model.link_contention_us = 7.0;
+  auto router = make_router(model);
+  NestedCallHandler nested(router);
+  router.bind_handler(2, &nested);
+  sim::VirtualClock clock(0.0);
+  sim::VirtualClock::Binder bind(&clock);
+  ByteWriter req;
+  req.put_span<std::uint8_t>({});
+  (void)router.transport().call(
+      Envelope::request(0, 2, MsgType::kDiffRequest, req));
+
+  const auto events = tracer.snapshot_events();
+  tracer.uninstall();
+  const trace::Event* wait = nullptr;
+  for (const auto& e : events)
+    if (e.kind == trace::EventKind::kContentionWait) {
+      EXPECT_EQ(wait, nullptr) << "exactly one send queued";
+      wait = &e;
+    }
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->ctx, 0u);  // charged to the queued sender
+  EXPECT_EQ(wait->arg0, 1u); // the switch stage...
+  EXPECT_EQ(wait->arg1, (std::uint64_t{1} << 32) | 0); // ...node 0's uplink
+  EXPECT_NEAR(wait->dur_us, 7.0, 1e-9);
+  // The event folds back into exactly the counter it mirrors.
+  const StatsSnapshot rebuilt = trace::reconstruct_counters(events);
+  EXPECT_EQ(rebuilt[Counter::kContentionStageWaits], 1u);
+  EXPECT_EQ(router.snapshot()[Counter::kContentionStageWaits], 1u);
+}
+
 // ------------------------------------------------------ perturbation --------
 
 PerturbOptions perturb_all() {

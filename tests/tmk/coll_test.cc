@@ -158,5 +158,56 @@ TEST(DsmColl, TreeBarrierCheaperOnWideMachineWithOccupancy) {
   EXPECT_LT(tree.master_us, central.master_us);
 }
 
+// OMSP_TOPOLOGY + OMSP_COLL=tree stacking: the env topology is resolved at
+// config-assembly time (Topology::from_env_or — the bench path) and the env
+// collective engine inside DsmSystem, and the tree schedule must be derived
+// from the OVERRIDING topology — never cached from the config default.
+TEST(DsmColl, EnvTopologyStacksWithEnvTreeColl) {
+  const ScopedEnvClear env_guard;
+  ::setenv("OMSP_COLL", "tree", 1);
+  ::setenv("OMSP_TOPOLOGY", "fat:2x2x2", 1);
+  Config env_cfg;
+  env_cfg.topology = sim::Topology::from_env_or(sim::Topology::sp2());
+  env_cfg.cost = sim::CostModel::zero();
+  const RunResult from_env = run_ring_stencil(env_cfg);
+  ::unsetenv("OMSP_TOPOLOGY");
+  ::unsetenv("OMSP_COLL");
+
+  // The same machine selected in code, tree mode selected in code, must run
+  // the identical episode: same values, same schedule-edge traffic.
+  Config code_cfg;
+  code_cfg.topology = sim::Topology::fat_tree(2, 2, 2);
+  code_cfg.cost = sim::CostModel::zero();
+  const RunResult reference = run_ring_stencil(tree_config(code_cfg));
+  EXPECT_EQ(from_env.values, reference.values);
+  EXPECT_EQ(from_env.stats[Counter::kCollStages],
+            reference.stats[Counter::kCollStages]);
+  EXPECT_EQ(from_env.stats[Counter::kCollBytes],
+            reference.stats[Counter::kCollBytes]);
+  EXPECT_EQ(from_env.stats[Counter::kMsgsOffNode],
+            reference.stats[Counter::kMsgsOffNode]);
+  EXPECT_GT(from_env.stats[Counter::kCollStages], 0u);
+
+  // And it is NOT the default machine's episode: sp2 is a 16-rank machine,
+  // fat:2x2x2 an 8-rank one, so a stale cached default would have run twice
+  // as many ranks (and a different stencil) as the override.
+  Config stale_cfg;
+  stale_cfg.cost = sim::CostModel::zero();
+  const RunResult stale = run_ring_stencil(tree_config(stale_cfg));
+  EXPECT_NE(from_env.values.size(), stale.values.size());
+}
+
+TEST(DsmCollDeathTest, MalformedEnvTopologyIsHardError) {
+  // A typo'd machine must never silently bench the default one — mirror of
+  // CollOptionsDeathTest for the stacked override.
+  const ScopedEnvClear env_guard;
+  ::setenv("OMSP_COLL", "tree", 1);
+  ::setenv("OMSP_TOPOLOGY", "fat:2x", 1);
+  EXPECT_DEATH((void)sim::Topology::from_env_or(sim::Topology::sp2()),
+               "OMSP_CHECK failed");
+  ::unsetenv("OMSP_TOPOLOGY");
+  ::unsetenv("OMSP_COLL");
+}
+
 } // namespace
 } // namespace omsp::tmk
